@@ -1,0 +1,1 @@
+bench/ablations.ml: Dd_core Dd_fgraph Dd_inference Dd_kbc Dd_relational Dd_util Harness List Printf String

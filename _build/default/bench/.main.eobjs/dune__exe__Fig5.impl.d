@@ -1,0 +1,1 @@
+bench/fig5.ml: Dd_core Dd_fgraph Dd_inference Dd_util Dd_variational Harness List Option

@@ -1,0 +1,1 @@
+bench/fig_kbc.ml: Array Dd_core Dd_fgraph Dd_inference Dd_kbc Dd_relational Dd_util Dd_variational Harness List Printf String

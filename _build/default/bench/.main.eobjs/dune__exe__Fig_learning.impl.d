@@ -1,0 +1,1 @@
+bench/fig_learning.ml: Dd_core Dd_inference Dd_kbc Dd_relational Dd_util Harness List Option Printf

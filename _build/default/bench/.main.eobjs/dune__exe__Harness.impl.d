@@ -1,0 +1,1 @@
+bench/harness.ml: Array Dd_fgraph Dd_inference Dd_util List Printf String

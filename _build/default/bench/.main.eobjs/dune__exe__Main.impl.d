@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Calibration_bench Dd_util Fig5 Fig_kbc Fig_learning Fig_semantics Harness List Micro Printf String Sys

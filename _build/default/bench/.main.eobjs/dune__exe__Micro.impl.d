@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Dd_fgraph Dd_inference Dd_relational Dd_util Harness Hashtbl Instance List Measure Staged Test Time Toolkit

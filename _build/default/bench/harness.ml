@@ -1,0 +1,107 @@
+(* Shared plumbing for the benchmark harness: experiment registry, timing
+   helpers, and the synthetic pairwise factor graphs used by the tradeoff
+   experiments of Figure 5. *)
+
+module Graph = Dd_fgraph.Graph
+module Semantics = Dd_fgraph.Semantics
+module Gibbs = Dd_inference.Gibbs
+module Metropolis = Dd_inference.Metropolis
+module Prng = Dd_util.Prng
+module Timer = Dd_util.Timer
+module Table = Dd_util.Table
+
+type experiment = {
+  name : string;
+  title : string;
+  run : full:bool -> unit;
+}
+
+let registry : experiment list ref = ref []
+
+let register name title run = registry := { name; title; run } :: !registry
+
+let all_experiments () = List.rev !registry
+
+let section title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title bar
+
+let note fmt = Printf.ksprintf (fun line -> Printf.printf "%s\n" line) fmt
+
+(* Median-of-k timing to damp scheduler noise. *)
+let time_median ?(repeats = 3) f =
+  let times = List.init repeats (fun _ -> Timer.time_s f) in
+  List.nth (List.sort compare times) (repeats / 2)
+
+(* A synthetic factor graph in the style of the Figure 5 study: [n]
+   variables, unary biases, and pairwise conjunction factors along a chain
+   plus [extra] random pairs.  [sparsity] is the fraction of pairwise
+   weights that are non-zero; weights are sampled from [-0.5, 0.5] as in
+   the paper's footnote. *)
+let synthetic_graph ?(sparsity = 1.0) ?(extra_per_var = 1) rng n =
+  let g = Graph.create () in
+  let vars = Graph.add_vars g n in
+  Array.iter
+    (fun v ->
+      let w = Graph.add_weight g (Prng.float_range rng (-0.5) 0.5) in
+      ignore (Graph.unary g ~weight:w v))
+    vars;
+  let add_edge a b =
+    let value =
+      if Prng.bernoulli rng sparsity then Prng.float_range rng (-0.5) 0.5 else 0.0
+    in
+    let w = Graph.add_weight g value in
+    ignore (Graph.pairwise g ~weight:w vars.(a) vars.(b))
+  in
+  for k = 0 to n - 2 do
+    add_edge k (k + 1)
+  done;
+  if n > 2 then
+    for _ = 1 to extra_per_var * n / 2 do
+      let a = Prng.int_below rng n in
+      let b = (a + 1 + Prng.int_below rng (n - 1)) mod n in
+      add_edge (min a b) (max a b)
+    done;
+  g
+
+(* Perturb every pairwise/unary weight by gaussian noise of scale [delta];
+   returns the change record (old weights recorded). *)
+let perturb_weights rng g delta =
+  let changed = ref [] in
+  if delta <> 0.0 then
+    for w = 0 to Graph.num_weights g - 1 do
+      let old_value = Graph.weight_value g w in
+      let fresh = old_value +. (delta *. Prng.gaussian rng) in
+      if fresh <> old_value then begin
+        Graph.set_weight g w fresh;
+        changed := (w, old_value) :: !changed
+      end
+    done;
+  { (Metropolis.unchanged g) with Metropolis.changed_weights = !changed }
+
+let restore_weights g change =
+  List.iter
+    (fun (w, old_value) -> Graph.set_weight g w old_value)
+    change.Metropolis.changed_weights
+
+(* Find a perturbation scale whose independent-MH acceptance rate is close
+   to [target], by bisection on delta (acceptance decreases in delta). *)
+let calibrate_acceptance rng g ~stored ~target =
+  let probe delta =
+    let change = perturb_weights (Prng.copy rng) g delta in
+    let rate =
+      Metropolis.acceptance_probe (Prng.create 99) change ~stored
+        ~probes:(min 200 (Array.length stored))
+    in
+    restore_weights g change;
+    rate
+  in
+  if target >= 0.999 then 0.0
+  else begin
+    let lo = ref 0.0 and hi = ref 8.0 in
+    for _ = 1 to 12 do
+      let mid = ( !lo +. !hi ) /. 2.0 in
+      if probe mid > target then lo := mid else hi := mid
+    done;
+    (!lo +. !hi) /. 2.0
+  end

@@ -1,0 +1,53 @@
+(* Benchmark harness entry point.
+
+   Regenerates every table and figure of the paper's evaluation
+   (see DESIGN.md for the experiment index):
+
+     dune exec bench/main.exe                 # all experiments, default scale
+     dune exec bench/main.exe -- fig5a fig9   # a subset
+     dune exec bench/main.exe -- --full       # larger sizes (slower)
+     dune exec bench/main.exe -- --list       # list experiment names
+
+   Absolute numbers will differ from the paper (their testbed is a 48-core
+   1TB machine over Greenplum; ours is a single-core in-memory engine at
+   1/1000 scale) — the claims under reproduction are the *shapes*: who
+   wins, where the crossovers sit, and how quality responds. *)
+
+(* Force linking of the experiment modules (registration happens in their
+   initializers). *)
+module _ = Fig5
+module _ = Fig_kbc
+module _ = Fig_semantics
+module _ = Fig_learning
+module _ = Micro
+module _ = Ablations
+module _ = Calibration_bench
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let names = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
+  let experiments = Harness.all_experiments () in
+  if List.mem "--list" args then begin
+    List.iter
+      (fun e -> Printf.printf "%-12s %s\n" e.Harness.name e.Harness.title)
+      experiments;
+    exit 0
+  end;
+  let selected =
+    if names = [] then
+      (* Micro-benchmarks only on request: they take a while under Bechamel. *)
+      List.filter (fun e -> e.Harness.name <> "micro") experiments
+    else
+      List.map
+        (fun name ->
+          match List.find_opt (fun e -> e.Harness.name = name) experiments with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %s (try --list)\n" name;
+            exit 1)
+        names
+  in
+  let total_timer = Dd_util.Timer.start () in
+  List.iter (fun e -> e.Harness.run ~full) selected;
+  Printf.printf "\nAll experiments finished in %.1fs.\n" (Dd_util.Timer.elapsed_s total_timer)

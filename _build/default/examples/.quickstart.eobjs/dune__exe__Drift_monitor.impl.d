@@ -1,0 +1,1 @@
+examples/drift_monitor.ml: Dd_inference Dd_kbc Dd_util List Printf

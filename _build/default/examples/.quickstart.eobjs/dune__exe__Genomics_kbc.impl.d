@@ -1,0 +1,1 @@
+examples/genomics_kbc.ml: Array Dd_core Dd_ddlog Dd_inference Dd_kbc Dd_relational Dd_util List Printf

@@ -1,0 +1,1 @@
+examples/incremental_dev.ml: Dd_core Dd_kbc Dd_relational Dd_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dd_core Dd_ddlog Dd_inference Dd_relational Dd_util List Printf

@@ -1,0 +1,1 @@
+examples/spouse_kbc.ml: Dd_kbc Dd_util List Printf

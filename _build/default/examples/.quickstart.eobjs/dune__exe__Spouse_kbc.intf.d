@@ -1,0 +1,1 @@
+examples/spouse_kbc.mli:

@@ -1,0 +1,1 @@
+examples/voting_semantics.ml: Array Dd_fgraph Dd_inference Dd_util List

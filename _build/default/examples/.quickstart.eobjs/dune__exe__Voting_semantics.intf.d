@@ -1,0 +1,1 @@
+examples/voting_semantics.mli:

@@ -1,0 +1,63 @@
+(* Incremental learning under concept drift (Appendix B.3/B.4).
+
+   A spam classifier — the one-liner logistic regression of Example 2.6 —
+   is trained over a chronological stream whose feature distribution shifts
+   partway through.  Rerun trains from scratch on the 30% prefix;
+   Incremental warmstarts from a model materialized on the 10% prefix.
+   Even across the drift, warmstart reaches a low test loss in fewer
+   epochs, though the gap narrows compared to the drift-free case.
+
+   Run with: dune exec examples/drift_monitor.exe *)
+
+module Drift = Dd_kbc.Drift
+module Learner = Dd_inference.Learner
+module Table = Dd_util.Table
+module Prng = Dd_util.Prng
+
+let epochs = 20
+
+let trace ~name ~warm data test =
+  let losses = ref [] in
+  let rng = Prng.create 3 in
+  let (_ : float array) =
+    Learner.train_lr ~method_:Learner.Sgd ?warm ~epochs ~learning_rate:0.3 rng data
+      ~on_epoch:(fun _ weights -> losses := Learner.lr_loss test weights :: !losses)
+  in
+  (name, List.rev !losses)
+
+let run ~label drift_at =
+  let stream = Drift.generate ~drift_at ~seed:21 () in
+  (* Materialization-time model: trained on the early prefix. *)
+  let early_model =
+    Learner.train_lr ~method_:Learner.Sgd ~epochs:30 ~learning_rate:0.3 (Prng.create 2)
+      stream.Drift.train_early
+  in
+  let runs =
+    [
+      trace ~name:"Rerun (cold)" ~warm:None stream.Drift.train_late stream.Drift.test;
+      trace ~name:"Incremental (warmstart)" ~warm:(Some early_model) stream.Drift.train_late
+        stream.Drift.test;
+    ]
+  in
+  Printf.printf "%s\n" label;
+  let table =
+    Table.create ("epoch" :: List.map fst runs)
+  in
+  List.iteri
+    (fun epoch _ ->
+      if epoch mod 2 = 0 then
+        Table.add_row table
+          (string_of_int (epoch + 1)
+          :: List.map (fun (_, losses) -> Table.cell_f (List.nth losses epoch)) runs))
+    (List.init epochs (fun e -> e));
+  Table.print table;
+  print_newline ()
+
+let () =
+  run ~label:"No drift (distribution stable across the stream):" 0.0;
+  run ~label:"Concept drift at 20% of the stream (training data straddles it):" 0.2;
+  print_endline
+    "Warmstart starts from a lower loss and converges in fewer epochs; under\n\
+     drift both learners converge to the same loss and the warmstart head\n\
+     start shrinks to roughly nothing — the Figure 17 observation that the\n\
+     benefit of incremental learning is smaller, but a rerun gains little."

@@ -1,0 +1,81 @@
+(* Incremental grounding when new documents arrive (Section 3.1).
+
+   KBC corpora grow: "new data sources arrive".  This example loads part of
+   a corpus, grounds and materializes once, then feeds the remaining
+   documents through DRed-based incremental grounding in batches.  Each
+   delta — new candidates, new variables, new factors — is computed from
+   the changed tuples alone, so it is far cheaper than re-evaluating every
+   rule from scratch, and incremental inference absorbs it without
+   re-running the full sampler.
+
+   Run with: dune exec examples/incremental_dev.exe *)
+
+module Corpus = Dd_kbc.Corpus
+module Systems = Dd_kbc.Systems
+module Pipeline = Dd_kbc.Pipeline
+module Quality = Dd_kbc.Quality
+module Engine = Dd_core.Engine
+module Grounding = Dd_core.Grounding
+module Database = Dd_relational.Database
+module Timer = Dd_util.Timer
+module Table = Dd_util.Table
+
+let initial_docs = 50
+let batch = 20
+
+let () =
+  let config = { Systems.news with Corpus.docs = 130 } in
+  let corpus = Corpus.generate config in
+  print_endline (Corpus.statistics corpus);
+  Printf.printf "Loading the first %d documents, then streaming the rest in batches of %d.\n\n"
+    initial_docs batch;
+  (* Program with features and supervision already in place. *)
+  let program = Pipeline.full_program () in
+  let db = Database.create () in
+  Corpus.load corpus ~docs:initial_docs db;
+  let engine = Engine.create db program in
+  let stats0 = Grounding.stats (Engine.grounding engine) in
+  Printf.printf "Initial graph: %d variables, %d factors.\n\n" stats0.Grounding.variables
+    stats0.Grounding.factors;
+  let table =
+    Table.create
+      [ "docs"; "ground(s)"; "rescratch-ground(s)"; "infer(s)"; "new vars"; "new factors"; "strategy"; "F1" ]
+  in
+  let doc = ref initial_docs in
+  while !doc < config.Corpus.docs do
+    let until_doc = min config.Corpus.docs (!doc + batch) in
+    let delta = Corpus.doc_delta corpus ~from_doc:!doc ~until_doc in
+    let report = Engine.apply_update engine (Grounding.data_update delta) in
+    (* Baseline: how long does grounding the whole program from scratch on
+       the grown corpus take? *)
+    let rescratch_seconds =
+      Timer.time_s (fun () ->
+          let fresh_db = Database.create () in
+          Corpus.load corpus ~docs:until_doc fresh_db;
+          ignore (Grounding.ground fresh_db program))
+    in
+    let f1 =
+      (Quality.evaluate (Engine.grounding engine) report.Engine.marginals
+         ~truth:corpus.Corpus.truth)
+        .Quality.f1
+    in
+    Table.add_row table
+      [
+        string_of_int until_doc;
+        Table.cell_f report.Engine.grounding_seconds;
+        Table.cell_f rescratch_seconds;
+        Table.cell_f report.Engine.inference_seconds;
+        string_of_int report.Engine.grounding.Grounding.new_vars;
+        string_of_int report.Engine.grounding.Grounding.new_factors;
+        Engine.strategy_used_to_string report.Engine.strategy;
+        Table.cell_f f1;
+      ];
+    doc := until_doc
+  done;
+  Table.print table;
+  let stats1 = Grounding.stats (Engine.grounding engine) in
+  Printf.printf "\nFinal graph: %d variables, %d factors.\n" stats1.Grounding.variables
+    stats1.Grounding.factors;
+  print_endline
+    "The incremental grounding column stays roughly proportional to the batch size\n\
+     while grounding from scratch grows with the whole corpus."

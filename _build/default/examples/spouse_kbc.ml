@@ -1,0 +1,57 @@
+(* The full KBC development loop on a synthetic news corpus (Section 4.2).
+
+   This is the engineering-in-the-loop workflow of Figure 1: start from a
+   candidate-only program, then add rules one iteration at a time — error
+   analysis (A1), shallow features (FE1), deeper features (FE2), a
+   correlation rule (I1), then distant supervision (S1, S2) — and watch
+   extraction quality climb while the incremental engine answers each
+   iteration far faster than re-running from scratch.
+
+   Run with: dune exec examples/spouse_kbc.exe *)
+
+module Corpus = Dd_kbc.Corpus
+module Systems = Dd_kbc.Systems
+module Pipeline = Dd_kbc.Pipeline
+module Snapshots = Dd_kbc.Snapshots
+module Quality = Dd_kbc.Quality
+module Table = Dd_util.Table
+
+let () =
+  let corpus = Corpus.generate Systems.news in
+  print_endline (Corpus.statistics corpus);
+  print_endline "Running the six-snapshot development sequence (Incremental vs Rerun)...\n";
+  let result = Snapshots.run corpus in
+  Printf.printf "Factor graph: %d variables, %d factors. One-time materialization: %.2fs\n\n"
+    result.Snapshots.graph_vars result.Snapshots.graph_factors
+    result.Snapshots.materialization_seconds;
+  let table =
+    Table.create
+      [ "rule"; "rerun(s)"; "inc(s)"; "speedup"; "strategy"; "accept"; "F1 inc"; "F1 rerun"; "diff>0.05" ]
+  in
+  let cumulative_inc = ref result.Snapshots.materialization_seconds in
+  let cumulative_rerun = ref 0.0 in
+  List.iter
+    (fun (row : Snapshots.row) ->
+      cumulative_inc := !cumulative_inc +. row.Snapshots.incremental_seconds;
+      cumulative_rerun := !cumulative_rerun +. row.Snapshots.rerun_seconds;
+      Table.add_row table
+        [
+          Pipeline.rule_id_to_string row.Snapshots.rule;
+          Table.cell_f row.Snapshots.rerun_seconds;
+          Table.cell_f row.Snapshots.incremental_seconds;
+          Table.cell_x row.Snapshots.speedup;
+          row.Snapshots.strategy;
+          (match row.Snapshots.acceptance with Some a -> Table.cell_f a | None -> "-");
+          Table.cell_f row.Snapshots.f1_incremental;
+          Table.cell_f row.Snapshots.f1_rerun;
+          Table.cell_f row.Snapshots.agreement.Quality.frac_diff_gt;
+        ])
+    result.Snapshots.rows;
+  Table.print table;
+  Printf.printf
+    "\nCumulative wait time for the developer: %.2fs incremental (incl. materialization) vs %.2fs rerun.\n"
+    !cumulative_inc !cumulative_rerun;
+  print_endline
+    "The strategy column shows the Section 3.3 optimizer at work: analysis reuses\n\
+     stored samples at 100% acceptance, feature rules ride the sampling approach,\n\
+     and supervision switches to the variational approximation."

@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Array Dd_fgraph Dd_util Hashtbl Int List Option Set

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Dd_fgraph Dd_inference Dd_relational Dd_util Grounding Hashtbl List Materialize Optimizer Option

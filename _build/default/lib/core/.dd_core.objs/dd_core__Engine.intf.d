@@ -1,0 +1,1 @@
+lib/core/engine.mli: Dd_fgraph Dd_relational Grounding Materialize Program

@@ -1,0 +1,1 @@
+lib/core/grounding.ml: Array Dd_datalog Dd_fgraph Dd_inference Dd_relational Dd_util Hashtbl List Logs Printf Program String

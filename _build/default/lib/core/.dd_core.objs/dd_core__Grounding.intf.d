@@ -1,0 +1,1 @@
+lib/core/grounding.mli: Dd_datalog Dd_fgraph Dd_inference Dd_relational Program

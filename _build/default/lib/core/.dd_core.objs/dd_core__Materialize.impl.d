@@ -1,0 +1,1 @@
+lib/core/materialize.ml: Array Bytes Dd_fgraph Dd_inference Dd_util Dd_variational Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/materialize.mli: Dd_fgraph Dd_inference Dd_util Hashtbl

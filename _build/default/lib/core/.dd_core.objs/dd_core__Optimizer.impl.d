@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Dd_fgraph Dd_inference List

@@ -1,0 +1,1 @@
+lib/core/program.ml: Array Dd_datalog Dd_fgraph Dd_relational List Printf Result

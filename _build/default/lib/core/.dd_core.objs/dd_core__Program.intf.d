@@ -1,0 +1,1 @@
+lib/core/program.mli: Dd_datalog Dd_fgraph Dd_relational

@@ -1,0 +1,129 @@
+module Graph = Dd_fgraph.Graph
+module Union_find = Dd_util.Union_find
+
+type group = {
+  inactive : Graph.var list;
+  active : Graph.var list;
+}
+
+module ISet = Set.Make (Int)
+
+let decompose g ~active =
+  let n = Graph.num_vars g in
+  let is_active = Array.make n false in
+  List.iter (fun v -> if v < n then is_active.(v) <- true) active;
+  (* Line 1: connected components of the graph with active vars removed. *)
+  let uf = Union_find.create n in
+  Graph.iter_factors
+    (fun _ f ->
+      let inactive_vars = List.filter (fun v -> not is_active.(v)) (Graph.vars_of_factor f) in
+      match inactive_vars with
+      | [] -> ()
+      | first :: rest -> List.iter (fun v -> Union_find.union uf first v) rest)
+    g;
+  (* Line 2: per component, the active boundary (active vars co-occurring
+     with a member in some factor). *)
+  let boundaries : (int, ISet.t) Hashtbl.t = Hashtbl.create 16 in
+  let members : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  for v = 0 to n - 1 do
+    if not is_active.(v) then begin
+      let root = Union_find.find uf v in
+      Hashtbl.replace members root (v :: (try Hashtbl.find members root with Not_found -> []))
+    end
+  done;
+  Graph.iter_factors
+    (fun _ f ->
+      let vars = Graph.vars_of_factor f in
+      let actives = List.filter (fun v -> is_active.(v)) vars in
+      let inactives = List.filter (fun v -> not is_active.(v)) vars in
+      match inactives with
+      | [] -> ()
+      | witness :: _ ->
+        let root = Union_find.find uf witness in
+        let existing = try Hashtbl.find boundaries root with Not_found -> ISet.empty in
+        Hashtbl.replace boundaries root (List.fold_left (fun s a -> ISet.add a s) existing actives))
+    g;
+  let groups =
+    Hashtbl.fold
+      (fun root inactive acc ->
+        let boundary =
+          try ISet.elements (Hashtbl.find boundaries root) with Not_found -> []
+        in
+        (ISet.of_list boundary, inactive) :: acc)
+      members []
+  in
+  (* Lines 4-6: greedily merge groups when one boundary subsumes the
+     other. *)
+  let merged = ref (List.map (fun (b, i) -> (b, i)) groups) in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let rec try_merge acc = function
+      | [] -> List.rev acc
+      | (b1, i1) :: rest ->
+        (* Merge only when one boundary subsumes the other AND they truly
+           share active variables — merging boundary-disjoint groups would
+           grow the materialization unit without saving anything. *)
+        let subsumes (b2, _) =
+          let u = ISet.union b1 b2 in
+          ISet.cardinal u = max (ISet.cardinal b1) (ISet.cardinal b2)
+          && not (ISet.is_empty (ISet.inter b1 b2))
+        in
+        (match List.partition subsumes rest with
+        | [], rest -> try_merge ((b1, i1) :: acc) rest
+        | (b2, i2) :: others, rest ->
+          progress := true;
+          try_merge acc (((ISet.union b1 b2, i1 @ i2) :: others) @ rest))
+    in
+    merged := try_merge [] !merged
+  done;
+  List.map (fun (b, i) -> { inactive = i; active = ISet.elements b }) !merged
+
+let induced_subgraph g ~vars =
+  let n = Graph.num_vars g in
+  let mapping = Array.make n (-1) in
+  let sub = Graph.create () in
+  List.iter
+    (fun v ->
+      if v < n && mapping.(v) < 0 then
+        mapping.(v) <- Graph.add_var ~evidence:(Graph.evidence_of g v) sub)
+    vars;
+  let weight_map = Hashtbl.create 16 in
+  let import_weight w =
+    match Hashtbl.find_opt weight_map w with
+    | Some w' -> w'
+    | None ->
+      let w' = Graph.add_weight ~learnable:(Graph.weight_learnable g w) sub (Graph.weight_value g w) in
+      Hashtbl.replace weight_map w w';
+      w'
+  in
+  Graph.iter_factors
+    (fun _ f ->
+      let fvars = Graph.vars_of_factor f in
+      if List.for_all (fun v -> mapping.(v) >= 0) fvars then begin
+        let remap_literal (l : Graph.literal) = { l with Graph.var = mapping.(l.Graph.var) } in
+        ignore
+          (Graph.add_factor sub
+             {
+               Graph.head = Option.map (fun h -> mapping.(h)) f.Graph.head;
+               bodies = Array.map (Array.map remap_literal) f.Graph.bodies;
+               weight_id = import_weight f.Graph.weight_id;
+               semantics = f.Graph.semantics;
+             })
+      end)
+    g;
+  (sub, mapping)
+
+let group_subgraph g group =
+  let vars = group.inactive @ group.active in
+  let sub, mapping = induced_subgraph g ~vars in
+  (* Boundary variables are conditioned on, not inferred. *)
+  List.iter
+    (fun v ->
+      let v' = mapping.(v) in
+      if v' >= 0 then
+        match Graph.evidence_of sub v' with
+        | Graph.Evidence _ -> ()
+        | Graph.Query -> Graph.set_evidence sub v' (Graph.Evidence false))
+    group.active;
+  (sub, mapping)

@@ -1,0 +1,31 @@
+(** Factor-graph decomposition with inactive variables
+    (Appendix B.1, Algorithm 2).
+
+    When the developer declares an interest area, variables outside it are
+    inactive.  Conditioned on the active variables, the inactive ones
+    partition into independent components; each component plus its active
+    boundary can be materialized separately, and smaller groups make every
+    materialization strategy faster.  The greedy merge collapses a pair of
+    groups whenever one group's active boundary contains the other's
+    (|A1 u A2| = max(|A1|, |A2|)), avoiding re-materializing shared active
+    variables. *)
+
+module Graph = Dd_fgraph.Graph
+
+type group = {
+  inactive : Graph.var list;
+  active : Graph.var list;  (** boundary: minimal conditioning set *)
+}
+
+val decompose : Graph.t -> active:Graph.var list -> group list
+(** Algorithm 2.  Variables not listed in [active] are inactive. *)
+
+val induced_subgraph : Graph.t -> vars:Graph.var list -> Graph.t * int array
+(** [induced_subgraph g ~vars] builds the subgraph over [vars] containing
+    every factor all of whose variables lie in [vars]; returns it with the
+    mapping [old var -> new var] ([-1] for absent variables). *)
+
+val group_subgraph : Graph.t -> group -> Graph.t * int array
+(** Subgraph over a group's inactive plus boundary variables, with the
+    boundary variables additionally clamped as evidence at [false] — they
+    are conditioned on, not inferred, inside the group. *)

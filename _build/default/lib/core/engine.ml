@@ -1,0 +1,267 @@
+module Graph = Dd_fgraph.Graph
+module Tuple = Dd_relational.Tuple
+module Database = Dd_relational.Database
+module Gibbs = Dd_inference.Gibbs
+module Learner = Dd_inference.Learner
+module Metropolis = Dd_inference.Metropolis
+module Prng = Dd_util.Prng
+module Timer = Dd_util.Timer
+
+type options = {
+  materialization_samples : int;
+  inference_chain : int;
+  burn_in : int;
+  lambda : float;
+  acceptance_floor : float;
+  initial_learning_epochs : int;
+  initial_learning_rate : float;
+  incremental_learning_epochs : int;
+  incremental_learning_rate : float;
+  variational_var_limit : int;
+  with_variational : bool;
+  disable_sampling : bool;
+  disable_variational : bool;
+  workload_aware : bool;
+  seed : int;
+}
+
+let default_options =
+  {
+    materialization_samples = 200;
+    inference_chain = 100;
+    burn_in = 20;
+    lambda = 0.1;
+    acceptance_floor = 0.02;
+    initial_learning_epochs = 30;
+    initial_learning_rate = 0.1;
+    incremental_learning_epochs = 5;
+    incremental_learning_rate = 0.03;
+    variational_var_limit = 600;
+    with_variational = true;
+    disable_sampling = false;
+    disable_variational = false;
+    workload_aware = true;
+    seed = 42;
+  }
+
+type strategy_used =
+  | Used_sampling
+  | Used_variational
+  | Used_full_gibbs
+
+let strategy_used_to_string = function
+  | Used_sampling -> "sampling"
+  | Used_variational -> "variational"
+  | Used_full_gibbs -> "full-gibbs"
+
+type report = {
+  strategy : strategy_used;
+  grounding_seconds : float;
+  learning_seconds : float;
+  inference_seconds : float;
+  acceptance_rate : float option;
+  grounding : Grounding.report;
+  marginals : float array;
+}
+
+type t = {
+  ground : Grounding.t;
+  opts : options;
+  rng : Prng.t;
+  mutable mat : Materialize.t;
+  extension_origin : (int, int) Hashtbl.t;
+  mutable proposals_used : int;
+  mutable last_marginals : float array;
+}
+
+let options t = t.opts
+
+let grounding t = t.ground
+
+let graph t = Grounding.graph t.ground
+
+let materialization t = t.mat
+
+let marginals t = t.last_marginals
+
+let marginals_by_relation t =
+  Grounding.marginals_by_relation t.ground t.last_marginals
+
+let cd_options epochs learning_rate =
+  { Learner.default_cd with Learner.epochs; learning_rate; chain_sweeps = 2 }
+
+let learn t ~epochs ~learning_rate =
+  if epochs > 0 then
+    Learner.train_cd ~options:(cd_options epochs learning_rate) t.rng (graph t)
+
+let materialize_now t =
+  t.mat <-
+    Materialize.materialize ~n_samples:t.opts.materialization_samples
+      ~burn_in:t.opts.burn_in ~lambda:t.opts.lambda
+      ~variational_var_limit:t.opts.variational_var_limit
+      ~with_variational:t.opts.with_variational t.rng (graph t);
+  Hashtbl.reset t.extension_origin;
+  t.proposals_used <- 0
+
+let sample_mean_marginals mat nvars =
+  let totals = Array.make nvars 0 in
+  Array.iter
+    (fun world ->
+      for v = 0 to min nvars (Array.length world) - 1 do
+        if world.(v) then totals.(v) <- totals.(v) + 1
+      done)
+    mat.Materialize.samples;
+  let n = max 1 (Array.length mat.Materialize.samples) in
+  Array.map (fun c -> float_of_int c /. float_of_int n) totals
+
+let create ?(options = default_options) db prog =
+  let grounding = Grounding.ground db prog in
+  let t =
+    {
+      ground = grounding;
+      opts = options;
+      rng = Prng.create options.seed;
+      mat =
+        {
+          Materialize.samples = [||];
+          variational = None;
+          base_weights = [||];
+          base_factor_count = 0;
+          base_var_count = 0;
+          base_evidence = [||];
+        };
+      extension_origin = Hashtbl.create 64;
+      proposals_used = 0;
+      last_marginals = [||];
+    }
+  in
+  learn t ~epochs:options.initial_learning_epochs
+    ~learning_rate:options.initial_learning_rate;
+  materialize_now t;
+  t.last_marginals <- sample_mean_marginals t.mat (Graph.num_vars (graph t));
+  t
+
+let record_extensions t (greport : Grounding.report) =
+  List.iter
+    (fun (fid, old_count) ->
+      if fid < t.mat.Materialize.base_factor_count && not (Hashtbl.mem t.extension_origin fid)
+      then Hashtbl.replace t.extension_origin fid old_count)
+    greport.Grounding.change.Metropolis.extended_factors
+
+let apply_update t update =
+  let greport, grounding_seconds = Timer.time (fun () -> Grounding.extend t.ground update) in
+  record_extensions t greport;
+  (* Incremental learning: warmstart is implicit (weights are live). *)
+  let needs_learning =
+    greport.Grounding.evidence_changed > 0
+    || greport.Grounding.new_factors > 0
+    || greport.Grounding.extended > 0
+  in
+  let learning_seconds =
+    if needs_learning then
+      Timer.time_s (fun () ->
+          learn t ~epochs:t.opts.incremental_learning_epochs
+            ~learning_rate:t.opts.incremental_learning_rate)
+    else 0.0
+  in
+  let change = Materialize.cumulative_change t.mat (graph t) ~extension_origin:t.extension_origin in
+  let profile = Optimizer.profile_of_change change in
+  let samples_total = Array.length t.mat.Materialize.samples in
+  let exhausted = t.proposals_used + t.opts.inference_chain > samples_total in
+  let variational_available =
+    t.mat.Materialize.variational <> None && not t.opts.disable_variational
+  in
+  let sampling_available = samples_total > 0 && not t.opts.disable_sampling in
+  let decision =
+    if not sampling_available then Optimizer.Variational
+    else if not variational_available then Optimizer.Sampling
+    else if not t.opts.workload_aware then
+      if exhausted then Optimizer.Variational else Optimizer.Sampling
+    else Optimizer.choose profile ~samples_exhausted:exhausted
+  in
+  let strategy, acceptance_rate, marginals, inference_seconds =
+    match decision with
+    | Optimizer.Sampling when sampling_available ->
+      (* Probe the acceptance rate first: a chain needs ~SI/rho proposals
+         for SI effective samples, and when the distribution moved too much
+         the method "resorts to another evaluation method" (Section
+         3.2.2). *)
+      let (probe, m_probe), probe_secs =
+        Timer.time (fun () ->
+            let r =
+              Metropolis.infer t.rng change ~stored:t.mat.Materialize.samples
+                ~chain_length:(min 150 (Array.length t.mat.Materialize.samples))
+            in
+            (r.Metropolis.acceptance_rate, r))
+      in
+      t.proposals_used <- t.proposals_used + m_probe.Metropolis.proposals;
+      if probe < t.opts.acceptance_floor && variational_available then begin
+        let approx = Option.get t.mat.Materialize.variational in
+        let m, extra =
+          Timer.time (fun () ->
+              Materialize.variational_infer ~sweeps:t.opts.inference_chain
+                ~burn_in:t.opts.burn_in t.rng ~approx ~change)
+        in
+        (Used_variational, Some probe, m, probe_secs +. extra)
+      end
+      else begin
+        let chain_length =
+          min
+            (t.opts.inference_chain * 10)
+            (int_of_float
+               (ceil (float_of_int t.opts.inference_chain /. max probe 0.02)))
+        in
+        let result, secs =
+          Timer.time (fun () ->
+              Metropolis.infer t.rng change ~stored:t.mat.Materialize.samples
+                ~chain_length)
+        in
+        t.proposals_used <- t.proposals_used + result.Metropolis.proposals;
+        (Used_sampling, Some result.Metropolis.acceptance_rate, result.Metropolis.marginals,
+         probe_secs +. secs)
+      end
+    | Optimizer.Variational when variational_available ->
+      let approx = Option.get t.mat.Materialize.variational in
+      let m, secs =
+        Timer.time (fun () ->
+            Materialize.variational_infer ~sweeps:t.opts.inference_chain
+              ~burn_in:t.opts.burn_in t.rng ~approx ~change)
+      in
+      (Used_variational, None, m, secs)
+    | Optimizer.Sampling | Optimizer.Variational ->
+      let m, secs =
+        Timer.time (fun () ->
+            Gibbs.marginals ~burn_in:t.opts.burn_in t.rng (graph t)
+              ~sweeps:t.opts.inference_chain)
+      in
+      (Used_full_gibbs, None, m, secs)
+  in
+  t.last_marginals <- marginals;
+  {
+    strategy;
+    grounding_seconds;
+    learning_seconds;
+    inference_seconds;
+    acceptance_rate;
+    grounding = greport;
+    marginals;
+  }
+
+let rematerialize t = Timer.time_s (fun () -> materialize_now t)
+
+let rerun ?(options = default_options) db prog =
+  let timer = Timer.start () in
+  let grounding = Grounding.ground db prog in
+  let rng = Prng.create options.seed in
+  let g = Grounding.graph grounding in
+  Learner.train_cd
+    ~options:
+      {
+        Learner.default_cd with
+        Learner.epochs = options.initial_learning_epochs;
+        learning_rate = options.initial_learning_rate;
+      }
+    rng g;
+  let marginals = Gibbs.marginals ~burn_in:options.burn_in rng g ~sweeps:options.inference_chain in
+  (marginals, Timer.elapsed_s timer)
+

@@ -1,0 +1,88 @@
+(** The incremental DeepDive engine (Section 3 end-to-end).
+
+    [create] grounds the program, learns initial weights, and materializes
+    both strategies.  [apply_update] then executes one iteration of the
+    KBC development loop: incremental grounding (DRed), incremental
+    learning (warmstarted contrastive divergence), strategy selection (the
+    Section 3.3 optimizer, with lesion switches for the Figure 11
+    experiments), and incremental inference against the materialization.
+
+    The deltas are always expressed against the *materialized* baseline, so
+    a single materialization serves many successive updates (its cost
+    amortizes, Section 4.2); call [rematerialize] to refresh the baseline.
+
+    [rerun] is the paper's Rerun baseline: ground, learn and infer from
+    scratch. *)
+
+module Graph = Dd_fgraph.Graph
+module Tuple = Dd_relational.Tuple
+module Database = Dd_relational.Database
+
+type options = {
+  materialization_samples : int;
+  inference_chain : int;  (** MH proposals / Gibbs sweeps per inference *)
+  burn_in : int;
+  lambda : float;  (** variational regularization *)
+  acceptance_floor : float;
+      (** below this measured MH acceptance rate, re-answer the update with
+          the variational artifact ("the method resorts to another
+          evaluation method", Section 3.2.2) *)
+  initial_learning_epochs : int;
+  initial_learning_rate : float;
+  incremental_learning_epochs : int;
+  incremental_learning_rate : float;
+      (** warmstart fine-tuning is gentler than from-scratch learning, which
+          also keeps the sampling approach's acceptance rate usable *)
+  variational_var_limit : int;
+  with_variational : bool;
+  disable_sampling : bool;  (** lesion: NoSampling *)
+  disable_variational : bool;  (** lesion: NoRelaxation *)
+  workload_aware : bool;  (** false = the NoWorkloadInfo baseline *)
+  seed : int;
+}
+
+val default_options : options
+
+type strategy_used =
+  | Used_sampling
+  | Used_variational
+  | Used_full_gibbs  (** fallback when no variational artifact exists *)
+
+val strategy_used_to_string : strategy_used -> string
+
+type report = {
+  strategy : strategy_used;
+  grounding_seconds : float;
+  learning_seconds : float;
+  inference_seconds : float;
+  acceptance_rate : float option;
+  grounding : Grounding.report;
+  marginals : float array;
+}
+
+type t
+
+val create : ?options:options -> Database.t -> Program.t -> t
+
+val options : t -> options
+
+val grounding : t -> Grounding.t
+
+val graph : t -> Graph.t
+
+val materialization : t -> Materialize.t
+
+val marginals : t -> float array
+(** Most recent inference result (initially from materialization-time
+    sampling). *)
+
+val marginals_by_relation : t -> (string * Tuple.t * float) list
+
+val apply_update : t -> Grounding.update -> report
+
+val rematerialize : t -> float
+(** Refresh the materialized baseline; returns elapsed seconds. *)
+
+val rerun : ?options:options -> Database.t -> Program.t -> float array * float
+(** Ground + learn + infer from scratch; returns (marginals, seconds).
+    The marginals index the fresh grounding's variables. *)

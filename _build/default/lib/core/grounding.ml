@@ -1,0 +1,489 @@
+module Graph = Dd_fgraph.Graph
+module Semantics = Dd_fgraph.Semantics
+module Value = Dd_relational.Value
+module Tuple = Dd_relational.Tuple
+module Relation = Dd_relational.Relation
+module Database = Dd_relational.Database
+module Ast = Dd_datalog.Ast
+module Engine = Dd_datalog.Engine
+module Matcher = Dd_datalog.Matcher
+module Dred = Dd_datalog.Dred
+module Metropolis = Dd_inference.Metropolis
+
+type t = {
+  db : Database.t;
+  mutable prog : Program.t;
+  graph : Graph.t;
+  var_table : (string, Graph.var Tuple.Hashtbl.t) Hashtbl.t;
+  origins : (Graph.var, string * Tuple.t) Hashtbl.t;
+  weight_table : (string, Graph.weight_id) Hashtbl.t;
+  weight_names : (Graph.weight_id, string) Hashtbl.t;
+  factor_table : (string, int) Hashtbl.t;  (* factor-group key -> factor id *)
+}
+
+type stats = {
+  variables : int;
+  factors : int;
+  weights : int;
+  evidence : int;
+}
+
+let graph t = t.graph
+
+let database t = t.db
+
+let program t = t.prog
+
+let stats t =
+  {
+    variables = Graph.num_vars t.graph;
+    factors = Graph.num_factors t.graph;
+    weights = Graph.num_weights t.graph;
+    evidence = List.length (Graph.evidence_vars t.graph);
+  }
+
+let relation_vars t pred =
+  match Hashtbl.find_opt t.var_table pred with
+  | Some table -> table
+  | None ->
+    let table = Tuple.Hashtbl.create 64 in
+    Hashtbl.replace t.var_table pred table;
+    table
+
+let var_of t pred tuple = Tuple.Hashtbl.find_opt (relation_vars t pred) tuple
+
+let origin t v = Hashtbl.find t.origins v
+
+let vars_of_relation t pred =
+  Tuple.Hashtbl.fold (fun tuple v acc -> (tuple, v) :: acc) (relation_vars t pred) []
+
+let weight_key_of t w =
+  try Hashtbl.find t.weight_names w with Not_found -> "<unknown>"
+
+let marginals_by_relation t marginals =
+  List.concat_map
+    (fun (pred, _) ->
+      List.map (fun (tuple, v) -> (pred, tuple, marginals.(v))) (vars_of_relation t pred))
+    t.prog.Program.query_relations
+
+(* --- variable and evidence management ------------------------------------ *)
+
+let create_var t pred tuple =
+  let table = relation_vars t pred in
+  match Tuple.Hashtbl.find_opt table tuple with
+  | Some v -> v
+  | None ->
+    let v = Graph.add_var t.graph in
+    Tuple.Hashtbl.replace table tuple v;
+    Hashtbl.replace t.origins v (pred, tuple);
+    v
+
+(* Majority label over the evidence companion for one candidate tuple. *)
+let evidence_label t query_pred tuple =
+  let ev_pred = Program.evidence_relation query_pred in
+  match Database.find_opt t.db ev_pred with
+  | None -> None
+  | Some ev ->
+    let arity = Array.length tuple in
+    let votes = ref 0 in
+    Relation.iter
+      (fun ev_tuple _ ->
+        if Array.length ev_tuple = arity + 1 then begin
+          let args = Array.sub ev_tuple 0 arity in
+          if Tuple.equal args tuple then
+            match ev_tuple.(arity) with
+            | Value.Bool true -> incr votes
+            | Value.Bool false -> decr votes
+            | _ -> ()
+        end)
+      ev;
+    if !votes > 0 then Some true else if !votes < 0 then Some false else None
+
+let apply_evidence_to_var t query_pred tuple v =
+  match evidence_label t query_pred tuple with
+  | None -> ()
+  | Some label -> Graph.set_evidence t.graph v (Graph.Evidence label)
+
+(* --- factor construction -------------------------------------------------- *)
+
+let term_value env = function
+  | Ast.Const c -> c
+  | Ast.Var name -> (
+    match env name with
+    | Some v -> v
+    | None -> invalid_arg "Grounding: unbound variable in rule head or weight")
+
+let atom_tuple env (atom : Ast.atom) =
+  Array.of_list (List.map (term_value env) atom.Ast.args)
+
+let weight_key (r : Program.inference_rule) env =
+  match r.Program.weight with
+  | Program.Fixed _ -> r.Program.name ^ "|<fixed>"
+  | Program.Tied terms ->
+    r.Program.name ^ "|"
+    ^ String.concat "," (List.map (fun term -> Value.to_string (term_value env term)) terms)
+
+let find_or_create_weight t (r : Program.inference_rule) key =
+  match Hashtbl.find_opt t.weight_table key with
+  | Some w -> w
+  | None ->
+    let value, learnable =
+      match r.Program.weight with
+      | Program.Fixed w -> (w, false)
+      | Program.Tied _ -> (0.0, true)
+    in
+    let w = Graph.add_weight ~learnable t.graph value in
+    Hashtbl.replace t.weight_table key w;
+    Hashtbl.replace t.weight_names w key;
+    w
+
+exception Missing_candidate of string * Tuple.t
+
+(* The factor body of one grounding: literals over query-relation atoms;
+   deterministic atoms are already satisfied by the match and drop out. *)
+let grounding_body t env (r : Program.inference_rule) =
+  List.filter_map
+    (fun literal ->
+      let atom = Ast.atom_of_literal literal in
+      if Program.is_query_relation t.prog atom.Ast.pred then begin
+        let tuple = atom_tuple env atom in
+        match var_of t atom.Ast.pred tuple with
+        | Some v -> Some { Graph.var = v; negated = not (Ast.is_positive literal) }
+        | None -> raise (Missing_candidate (atom.Ast.pred, tuple))
+      end
+      else None)
+    r.Program.body
+  |> Array.of_list
+
+type pending_group = {
+  head_var : Graph.var;
+  weight_id : Graph.weight_id;
+  semantics : Semantics.t;
+  mutable new_bodies : Graph.literal array list;
+}
+
+let group_key (r : Program.inference_rule) head_tuple wkey =
+  r.Program.name ^ "#" ^ Tuple.to_string head_tuple ^ "#" ^ wkey
+
+(* Groundings of a non-populating rule that touch a candidate that does
+   not exist are dropped, as in DeepDive; for populating rules a missing
+   candidate is an internal invariant violation. *)
+let rec add_grounding t pending (r : Program.inference_rule) env =
+  match add_grounding_strict t pending r env with
+  | () -> ()
+  | exception Missing_candidate (pred, tuple) ->
+    if r.Program.populate_head then
+      invalid_arg
+        (Printf.sprintf "Grounding: no variable for %s%s (rule %s)" pred
+           (Tuple.to_string tuple) r.Program.name)
+
+and add_grounding_strict t pending (r : Program.inference_rule) env =
+  let head_tuple = atom_tuple env r.Program.head in
+  match var_of t r.Program.head.Ast.pred head_tuple with
+  | None -> raise (Missing_candidate (r.Program.head.Ast.pred, head_tuple))
+  | Some head_var ->
+    let wkey = weight_key r env in
+    let weight_id = find_or_create_weight t r wkey in
+    let key = group_key r head_tuple wkey in
+    let body = grounding_body t env r in
+    let group =
+      match Hashtbl.find_opt pending key with
+      | Some g -> g
+      | None ->
+        let g = { head_var; weight_id; semantics = r.Program.semantics; new_bodies = [] } in
+        Hashtbl.replace pending key g;
+        g
+    in
+    group.new_bodies <- body :: group.new_bodies
+
+(* Flush pending groups into the graph.  Returns (new factor ids, extended
+   factors with their prior body counts). *)
+let flush_groups t pending =
+  let new_factors = ref [] and extended = ref [] in
+  Hashtbl.iter
+    (fun key group ->
+      let bodies = Array.of_list (List.rev group.new_bodies) in
+      match Hashtbl.find_opt t.factor_table key with
+      | Some fid ->
+        let old_count = Array.length (Graph.factor t.graph fid).Graph.bodies in
+        Graph.extend_factor t.graph fid bodies;
+        extended := (fid, old_count) :: !extended
+      | None ->
+        let fid =
+          Graph.add_factor t.graph
+            {
+              Graph.head = Some group.head_var;
+              bodies;
+              weight_id = group.weight_id;
+              semantics = group.semantics;
+            }
+        in
+        Hashtbl.replace t.factor_table key fid;
+        new_factors := fid :: !new_factors)
+    pending;
+  (!new_factors, !extended)
+
+let inference_rule_ast (r : Program.inference_rule) =
+  Ast.rule ~guards:r.Program.guards r.Program.head r.Program.body
+
+(* --- full grounding ------------------------------------------------------- *)
+
+let ground db prog =
+  (match Program.validate prog with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Grounding.ground: " ^ e));
+  (* Pre-create declared tables so schemas are authoritative. *)
+  List.iter
+    (fun (name, schema) ->
+      if not (Database.mem db name) then ignore (Database.create_table db name schema))
+    (prog.Program.input_schemas @ prog.Program.query_relations);
+  Engine.run_exn db (Program.deterministic_program prog);
+  let t =
+    {
+      db;
+      prog;
+      graph = Graph.create ();
+      var_table = Hashtbl.create 16;
+      origins = Hashtbl.create 1024;
+      weight_table = Hashtbl.create 64;
+      weight_names = Hashtbl.create 64;
+      factor_table = Hashtbl.create 1024;
+    }
+  in
+  (* One variable per query tuple, with evidence labels. *)
+  List.iter
+    (fun (pred, _) ->
+      match Database.find_opt db pred with
+      | None -> ()
+      | Some rel ->
+        Relation.iter
+          (fun tuple _ ->
+            let v = create_var t pred tuple in
+            apply_evidence_to_var t pred tuple v)
+          rel)
+    prog.Program.query_relations;
+  (* Ground the inference rules. *)
+  let lookup = Engine.lookup_in db in
+  List.iter
+    (fun r ->
+      let pending = Hashtbl.create 256 in
+      let envs = Matcher.eval_rule_bindings ~lookup (inference_rule_ast r) in
+      List.iter (fun env -> add_grounding t pending r env) envs;
+      ignore (flush_groups t pending))
+    (Program.inference_rules prog);
+  t
+
+(* --- incremental grounding ------------------------------------------------ *)
+
+type update = {
+  edb : Dred.Delta.t option;
+  new_rules : Program.rule list;
+}
+
+let data_update delta = { edb = Some delta; new_rules = [] }
+
+let rules_update rules = { edb = None; new_rules = rules }
+
+type report = {
+  change : Metropolis.change;
+  new_vars : int;
+  new_factors : int;
+  extended : int;
+  evidence_changed : int;
+  flips : int;
+  needs_rebuild : bool;
+}
+
+(* Datalog rules contributed by a program rule (for seeding new rules). *)
+let datalog_of_rule = function
+  | Program.Deterministic (_, rule) -> [ rule ]
+  | Program.Supervise (_, rule) -> [ rule ]
+  | Program.Infer r ->
+    if r.Program.populate_head then
+      [ Ast.rule ~guards:r.Program.guards r.Program.head r.Program.body ]
+    else []
+
+let extend t update =
+  let phase_timer = Dd_util.Timer.start () in
+  let last_phase = ref 0.0 in
+  let phase name =
+    let now = Dd_util.Timer.elapsed_s phase_timer in
+    Logs.debug (fun m -> m "Grounding.extend %s: %.4fs" name (now -. !last_phase));
+    last_phase := now
+  in
+  let old_prog = t.prog in
+  let new_prog = Program.add_rules old_prog update.new_rules in
+  (match Program.validate new_prog with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Grounding.extend: " ^ e));
+  let full_program = Program.deterministic_program new_prog in
+  (* Predicates whose pre-update state the staged factor grounding needs:
+     anything an existing inference rule reads. *)
+  let old_inference = Program.inference_rules old_prog in
+  let body_preds =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun r -> List.map (fun l -> (Ast.atom_of_literal l).Ast.pred) r.Program.body)
+         old_inference)
+  in
+  let snapshots = Hashtbl.create 16 in
+  List.iter
+    (fun pred ->
+      match Database.find_opt t.db pred with
+      | Some rel -> Hashtbl.replace snapshots pred (Relation.copy rel)
+      | None -> ())
+    body_preds;
+  (* Evaluate new rules against the pre-update state to seed DRed. *)
+  let lookup = Engine.lookup_in t.db in
+  let seeds =
+    List.concat_map
+      (fun rule ->
+        List.map
+          (fun ast -> (Ast.head_pred ast, Matcher.eval_rule ~lookup ast))
+          (datalog_of_rule rule))
+      update.new_rules
+  in
+  phase "snapshots+seeds";
+  let edb = match update.edb with Some d -> d | None -> Dred.Delta.create () in
+  let flips =
+    match Dred.apply ~seeds t.db full_program edb with
+    | Ok f -> f
+    | Error e -> invalid_arg ("Grounding.extend: " ^ e)
+  in
+  phase "dred";
+  t.prog <- new_prog;
+  (* New variables and clamped deletions. *)
+  let new_vars = ref [] in
+  let evidence_changes = ref [] in
+  let clamped = Hashtbl.create 16 in
+  List.iter
+    (fun (pred, _) ->
+      List.iter
+        (fun (tuple, sign) ->
+          if sign > 0 then begin
+            let v = create_var t pred tuple in
+            new_vars := v :: !new_vars;
+            apply_evidence_to_var t pred tuple v
+          end
+          else begin
+            match var_of t pred tuple with
+            | None -> ()
+            | Some v ->
+              let old_evidence = Graph.evidence_of t.graph v in
+              Graph.set_evidence t.graph v (Graph.Evidence false);
+              Hashtbl.replace clamped v ();
+              if old_evidence <> Graph.Evidence false then
+                evidence_changes := (v, old_evidence) :: !evidence_changes
+          end)
+        (Dred.Delta.flips flips pred))
+    new_prog.Program.query_relations;
+  (* Evidence companion changes re-label affected candidates. *)
+  List.iter
+    (fun (pred, _) ->
+      let ev_pred = Program.evidence_relation pred in
+      let touched = Tuple.Hashtbl.create 16 in
+      List.iter
+        (fun (ev_tuple, _) ->
+          let arity = Array.length ev_tuple - 1 in
+          if arity >= 0 then Tuple.Hashtbl.replace touched (Array.sub ev_tuple 0 arity) ())
+        (Dred.Delta.flips flips ev_pred);
+      Tuple.Hashtbl.iter
+        (fun tuple () ->
+          match var_of t pred tuple with
+          | None -> ()
+          | Some v ->
+            if not (Hashtbl.mem clamped v) then begin
+              let old_evidence = Graph.evidence_of t.graph v in
+              let fresh =
+                match evidence_label t pred tuple with
+                | Some label -> Graph.Evidence label
+                | None -> Graph.Query
+              in
+              if fresh <> old_evidence then begin
+                Graph.set_evidence t.graph v fresh;
+                evidence_changes := (v, old_evidence) :: !evidence_changes
+              end
+            end)
+        touched)
+    new_prog.Program.query_relations;
+  phase "vars+evidence";
+  (* Staged grounding of existing inference rules over the flips. *)
+  let needs_rebuild = ref false in
+  let pending = Hashtbl.create 64 in
+  let after_lookup pred =
+    match Hashtbl.find_opt snapshots pred with
+    | Some rel -> rel
+    | None -> lookup pred
+  in
+  List.iter
+    (fun r ->
+      let ast = inference_rule_ast r in
+      List.iteri
+        (fun pos literal ->
+          let pred = (Ast.atom_of_literal literal).Ast.pred in
+          match Dred.Delta.flips flips pred with
+          | [] -> ()
+          | pred_flips ->
+            let delta =
+              if Ast.is_positive literal then pred_flips
+              else List.map (fun (tup, s) -> (tup, -s)) pred_flips
+            in
+            let groundings =
+              Matcher.eval_rule_bindings_staged ~before:lookup ~after:after_lookup
+                ~delta_pos:pos ~delta ast
+            in
+            List.iter
+              (fun (env, count) ->
+                if count > 0 then add_grounding t pending r env
+                else if count < 0 then begin
+                  (* A lost grounding is harmless when one of its factor
+                     body variables (or head) was clamped false; otherwise
+                     the graph would need a rebuild to stay exact. *)
+                  match grounding_body t env r with
+                  | exception Missing_candidate _ -> ()
+                  | body ->
+                  let head_tuple = atom_tuple env r.Program.head in
+                  let head_clamped =
+                    match var_of t r.Program.head.Ast.pred head_tuple with
+                    | Some hv -> Hashtbl.mem clamped hv
+                    | None -> false
+                  in
+                  let body_clamped =
+                    Array.exists
+                      (fun l -> (not l.Graph.negated) && Hashtbl.mem clamped l.Graph.var)
+                      body
+                  in
+                  if not (head_clamped || body_clamped) then needs_rebuild := true
+                end)
+              groundings)
+        r.Program.body)
+    old_inference;
+  (* Full grounding of brand-new inference rules (post-update state). *)
+  List.iter
+    (function
+      | Program.Infer r ->
+        let envs = Matcher.eval_rule_bindings ~lookup (inference_rule_ast r) in
+        List.iter (fun env -> add_grounding t pending r env) envs
+      | Program.Deterministic _ | Program.Supervise _ -> ())
+    update.new_rules;
+  phase "staged-factors";
+  let new_factor_ids, extended_factors = flush_groups t pending in
+  let change =
+    {
+      Metropolis.graph = t.graph;
+      new_factor_ids;
+      extended_factors;
+      changed_weights = [];
+      new_vars = !new_vars;
+      evidence_changes = !evidence_changes;
+    }
+  in
+  {
+    change;
+    new_vars = List.length !new_vars;
+    new_factors = List.length new_factor_ids;
+    extended = List.length extended_factors;
+    evidence_changed = List.length !evidence_changes;
+    flips = Dred.Delta.total flips;
+    needs_rebuild = !needs_rebuild;
+  }

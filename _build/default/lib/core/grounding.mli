@@ -1,0 +1,87 @@
+(** Grounding: from a DeepDive program and a database to a factor graph
+    (the first phase of Section 2.5), plus *incremental* grounding (the
+    first phase of Section 3).
+
+    Full grounding evaluates the deterministic datalog program, creates one
+    Boolean random variable per query-relation tuple, applies evidence from
+    the [_ev] companions, and grounds one factor per (inference rule, head
+    tuple, weight key) group with one body per rule grounding — so
+    [n(gamma, I)] of Equation 1 is the number of satisfied bodies.
+
+    Incremental grounding ([extend]) applies base-table changes through
+    DRed, evaluates newly added rules, and updates the live graph in place:
+    new variables, new factors, extended factors (new groundings of an
+    existing group) and evidence changes.  Its output is a
+    {!Dd_inference.Metropolis.change} — the [(Delta V, Delta F)] the
+    incremental-inference phase consumes.
+
+    Deletions: tuples leaving a query relation have their variable clamped
+    to [Evidence false], which deactivates every factor body mentioning
+    them — energy-exact for conjunctive bodies.  A lost grounding whose
+    vanished support was a purely deterministic tuple cannot be expressed
+    that way; [needs_rebuild] reports it so the engine can fall back to a
+    full reground (our workloads, like the paper's KBC updates, are
+    additive). *)
+
+module Graph = Dd_fgraph.Graph
+module Tuple = Dd_relational.Tuple
+module Database = Dd_relational.Database
+module Dred = Dd_datalog.Dred
+module Metropolis = Dd_inference.Metropolis
+
+type t
+
+type stats = {
+  variables : int;
+  factors : int;
+  weights : int;
+  evidence : int;
+}
+
+val ground : Database.t -> Program.t -> t
+(** Full grounding.  Raises [Invalid_argument] on an invalid program. *)
+
+val graph : t -> Graph.t
+
+val database : t -> Database.t
+
+val program : t -> Program.t
+
+val stats : t -> stats
+
+val var_of : t -> string -> Tuple.t -> Graph.var option
+(** Variable of a query-relation tuple. *)
+
+val origin : t -> Graph.var -> string * Tuple.t
+
+val vars_of_relation : t -> string -> (Tuple.t * Graph.var) list
+
+val weight_key_of : t -> Graph.weight_id -> string
+(** Human-readable weight key ("rule|feature"), for inspection. *)
+
+val marginals_by_relation :
+  t -> float array -> (string * Tuple.t * float) list
+(** Pair each query tuple with its inferred marginal. *)
+
+type update = {
+  edb : Dred.Delta.t option;  (** base-table changes *)
+  new_rules : Program.rule list;  (** rules appended to the program *)
+}
+
+val data_update : Dred.Delta.t -> update
+
+val rules_update : Program.rule list -> update
+
+type report = {
+  change : Metropolis.change;
+  new_vars : int;
+  new_factors : int;
+  extended : int;
+  evidence_changed : int;
+  flips : int;  (** total membership flips propagated by DRed *)
+  needs_rebuild : bool;
+}
+
+val extend : t -> update -> report
+(** Incremental grounding: mutates the database, program and graph held by
+    [t] and describes the graph delta. *)

@@ -1,0 +1,92 @@
+(** The three materialization strategies of Section 3.2.
+
+    - {b Strawman} (3.2.1): store the probability of every possible world.
+      Perfect fidelity, exponential cost — usable below ~20 variables and
+      kept as the fidelity baseline of Figure 5(a).
+    - {b Sampling} (3.2.2): store worlds drawn from the original
+      distribution (MCDB-style tuple bundles); incremental inference reuses
+      them as independent Metropolis-Hastings proposals.
+    - {b Variational} (3.2.3): store a sparser approximate graph obtained
+      from the log-determinant relaxation; incremental inference applies
+      the update to the approximate graph and runs Gibbs directly.
+
+    {!materialize} produces the combined artifact the engine defers its
+    strategy choice over (Section 3.3: "materialize the factor graph using
+    both approaches, and defer the decision to the inference phase"),
+    together with the baseline snapshot (weights, factor/variable counts,
+    evidence) needed to express later updates as deltas against the
+    materialized distribution. *)
+
+module Graph = Dd_fgraph.Graph
+module Metropolis = Dd_inference.Metropolis
+
+(** {1 Strawman} *)
+
+type strawman = { worlds : (bool array * float) array }
+
+val strawman : Graph.t -> strawman
+(** Enumerate and store every world with its probability.  Raises on graphs
+    beyond {!Dd_fgraph.Exact.max_enumerable} query variables. *)
+
+val strawman_marginals : strawman -> Metropolis.change -> float array
+(** Exact marginals under the changed distribution: each stored world is
+    reweighted by [exp (delta log-weight)] — no access to original factors. *)
+
+(** {1 Combined materialization} *)
+
+type t = {
+  samples : bool array array;
+  variational : Graph.t option;  (** absent above [variational_var_limit] *)
+  base_weights : float array;
+  base_factor_count : int;
+  base_var_count : int;
+  base_evidence : Graph.evidence array;
+}
+
+val materialize :
+  ?n_samples:int ->
+  ?burn_in:int ->
+  ?lambda:float ->
+  ?variational_var_limit:int ->
+  ?with_variational:bool ->
+  Dd_util.Prng.t ->
+  Graph.t ->
+  t
+(** Draw [n_samples] (default 200) worlds and, when the graph is small
+    enough (default limit 600 variables) and [with_variational] (default
+    true), build the approximate graph from the same samples. *)
+
+val materialize_within_budget :
+  ?burn_in:int -> Dd_util.Prng.t -> Graph.t -> seconds:float -> t
+(** Best-effort materialization: keep drawing samples until the wall-clock
+    budget runs out (the paper's "as many samples as possible when idle"
+    policy, Figure 15); no variational artifact. *)
+
+(** {1 Inference against the materialization} *)
+
+val cumulative_change :
+  t -> Graph.t -> extension_origin:(int, int) Hashtbl.t -> Metropolis.change
+(** Describe the current graph as a delta against the materialized
+    baseline: factors/variables beyond the baseline counts are new, learnable
+    weights that moved are weight changes, evidence flips are evidence
+    changes, and [extension_origin] maps pre-existing factors to their body
+    count at materialization time. *)
+
+val save : string -> t -> unit
+(** Persist the materialization (samples, baseline, optional variational
+    graph) to a file — the artifact is built "overnight" and reused across
+    sessions, so it must survive the process. *)
+
+val load : string -> t
+(** Raises [Dd_fgraph.Serialize.Format_error] on malformed input. *)
+
+val variational_infer :
+  ?sweeps:int ->
+  ?burn_in:int ->
+  Dd_util.Prng.t ->
+  approx:Graph.t ->
+  change:Metropolis.change ->
+  float array
+(** Apply the update to (a copy of) the approximate graph — importing new
+    variables, evidence, new factors and extension bodies with their current
+    weights — and estimate marginals by Gibbs sampling on the result. *)

@@ -1,0 +1,1 @@
+lib/datalog/ast.ml: Dd_relational Format List Printf Result String

@@ -1,0 +1,1 @@
+lib/datalog/dred.ml: Array Ast Dd_relational Engine Hashtbl List Logs Matcher Queue Result Stratify String Unix

@@ -1,0 +1,1 @@
+lib/datalog/dred.mli: Ast Dd_relational

@@ -1,0 +1,1 @@
+lib/datalog/engine.ml: Array Ast Dd_relational Hashtbl List Matcher Printf Stratify

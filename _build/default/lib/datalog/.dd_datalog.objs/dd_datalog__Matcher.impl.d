@@ -1,0 +1,1 @@
+lib/datalog/matcher.ml: Array Ast Dd_relational Hashtbl List String

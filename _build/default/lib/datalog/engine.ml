@@ -1,0 +1,164 @@
+module Value = Dd_relational.Value
+module Tuple = Dd_relational.Tuple
+module Relation = Dd_relational.Relation
+module Schema = Dd_relational.Schema
+module Database = Dd_relational.Database
+
+let lookup_in db pred =
+  match Database.find_opt db pred with
+  | Some r -> r
+  | None -> Matcher.empty_relation
+
+let infer_schema tuple =
+  Schema.make
+    (Array.to_list
+       (Array.mapi
+          (fun i v ->
+            let ty =
+              match Value.type_of v with
+              | Some t -> t
+              | None -> Value.TStr
+            in
+            (Printf.sprintf "c%d" i, ty))
+          tuple))
+
+let ensure_table db pred sample =
+  match Database.find_opt db pred with
+  | Some r -> r
+  | None ->
+    let r = Relation.create ~name:pred (infer_schema sample) in
+    Database.register db r;
+    r
+
+let insert_counted db pred (tuple, count) =
+  if count > 0 then begin
+    let r = ensure_table db pred tuple in
+    Relation.insert ~count r tuple
+  end
+
+(* Evaluate one stratum to fixpoint with semi-naive iteration.
+
+   Round 0 evaluates every rule against the current database (same-stratum
+   IDB empty at that point).  Later rounds use the delta decomposition: for
+   each rule and each body position holding a same-stratum predicate, match
+   that position against the last round's delta, positions before it against
+   the new state and positions after it against the previous state, so each
+   grounding is discovered exactly once and counts stay exact. *)
+let eval_stratum db (stratum : Stratify.stratum) =
+  let in_stratum p = List.mem p stratum.Stratify.preds in
+  let old_state : (string, Relation.t) Hashtbl.t = Hashtbl.create 8 in
+  let lookup_new = lookup_in db in
+  let lookup_old pred =
+    if in_stratum pred then
+      match Hashtbl.find_opt old_state pred with
+      | Some r -> r
+      | None -> Matcher.empty_relation
+    else lookup_in db pred
+  in
+  (* Round 0. *)
+  let initial : (string * (Tuple.t * int) list) list =
+    List.map
+      (fun rule -> (Ast.head_pred rule, Matcher.eval_rule ~lookup:lookup_old rule))
+      stratum.Stratify.rules
+  in
+  let delta : (string, (Tuple.t * int) list) Hashtbl.t = Hashtbl.create 8 in
+  let merge_delta pred entries =
+    let existing = try Hashtbl.find delta pred with Not_found -> [] in
+    Hashtbl.replace delta pred (entries @ existing)
+  in
+  let apply_round contributions =
+    Hashtbl.reset delta;
+    (* Only membership flips (genuinely new tuples) enter the next round's
+       delta, each with count 1: downstream groundings depend on presence,
+       not on how many derivations a tuple has.  Count increments on
+       existing tuples are recorded in the store but do not propagate. *)
+    List.iter
+      (fun (pred, entries) ->
+        let fresh =
+          List.filter_map
+            (fun (tuple, count) ->
+              if count <= 0 then None
+              else begin
+                let r = ensure_table db pred tuple in
+                let existed = Relation.mem r tuple in
+                Relation.insert ~count r tuple;
+                if existed then None else Some (tuple, 1)
+              end)
+            entries
+        in
+        if fresh <> [] then merge_delta pred fresh)
+      contributions;
+    Hashtbl.length delta > 0
+  in
+  let snapshot_old () =
+    Hashtbl.reset old_state;
+    List.iter
+      (fun pred ->
+        match Database.find_opt db pred with
+        | Some r -> Hashtbl.replace old_state pred (Relation.copy r)
+        | None -> ())
+      stratum.Stratify.preds
+  in
+  (* For round 0, old state is the empty stratum. *)
+  let continue_ = apply_round initial in
+  if continue_ && stratum.Stratify.recursive then begin
+    let rec loop () =
+      (* The delta we are about to consume was applied to the db already;
+         the old state must exclude it. *)
+      let last_delta = Hashtbl.copy delta in
+      snapshot_old ();
+      (* Remove the last delta from the snapshot to recover S_{r-1}. *)
+      (* Delta tuples were new in the last round, so the previous state
+         simply does not contain them. *)
+      Hashtbl.iter
+        (fun pred entries ->
+          match Hashtbl.find_opt old_state pred with
+          | None -> ()
+          | Some r -> List.iter (fun (tuple, _) -> Relation.delete_all r tuple) entries)
+        last_delta;
+      let contributions =
+        List.concat_map
+          (fun rule ->
+            let head = Ast.head_pred rule in
+            List.concat
+              (List.mapi
+                 (fun pos literal ->
+                   let pred = (Ast.atom_of_literal literal).Ast.pred in
+                   if Ast.is_positive literal && in_stratum pred then begin
+                     match Hashtbl.find_opt last_delta pred with
+                     | None | Some [] -> []
+                     | Some d ->
+                       [ ( head,
+                           Matcher.eval_rule_staged ~before:lookup_new
+                             ~after:lookup_old ~delta_pos:pos ~delta:d rule ) ]
+                   end
+                   else [])
+                 rule.Ast.body))
+          stratum.Stratify.rules
+      in
+      if apply_round contributions then loop ()
+    in
+    loop ()
+  end
+
+let run db program =
+  match Stratify.stratify program with
+  | Error e -> Error e
+  | Ok strata ->
+    (* Fresh evaluation: clear existing IDB contents. *)
+    List.iter
+      (fun pred ->
+        match Database.find_opt db pred with
+        | Some r -> Relation.clear r
+        | None -> ())
+      (Ast.idb_preds program);
+    List.iter (eval_stratum db) strata;
+    Ok ()
+
+let run_exn db program =
+  match run db program with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Engine.run: " ^ e)
+
+(* Re-export to silence unused-module warnings when only run is used. *)
+let _ = insert_counted

@@ -1,0 +1,22 @@
+(** Predicate dependency analysis and stratification.
+
+    Negation must be stratified: no predicate may depend negatively on
+    itself through a cycle.  Strata are evaluated bottom-up; within a
+    stratum, recursion (through positive edges only) is allowed. *)
+
+type stratum = {
+  preds : string list;  (** predicates assigned to this stratum *)
+  rules : Ast.rule list;  (** rules whose head is in [preds] *)
+  recursive : bool;  (** whether some rule's body mentions a same-stratum predicate *)
+}
+
+val stratify : Ast.program -> (stratum list, string) result
+(** Bottom-up strata; [Error] when negation is not stratifiable. *)
+
+val depends_on : Ast.program -> string -> string list
+(** [depends_on p pred] is the set of predicates reachable from [pred]
+    through body dependencies (transitively), including [pred] itself. *)
+
+val affected_idb : Ast.program -> string list -> string list
+(** [affected_idb p changed] is the set of IDB predicates whose contents may
+    change when the given (EDB or IDB) predicates change. *)

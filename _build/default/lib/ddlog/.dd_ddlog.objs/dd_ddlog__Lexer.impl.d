@@ -1,0 +1,1 @@
+lib/ddlog/lexer.ml: Buffer List Printf String

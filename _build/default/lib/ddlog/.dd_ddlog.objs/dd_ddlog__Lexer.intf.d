@@ -1,0 +1,1 @@
+lib/ddlog/lexer.mli:

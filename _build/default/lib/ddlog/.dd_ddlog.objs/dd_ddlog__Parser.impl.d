@@ -1,0 +1,1 @@
+lib/ddlog/parser.ml: Dd_core Dd_datalog Dd_fgraph Dd_relational Lexer List Option Printf

@@ -1,0 +1,1 @@
+lib/ddlog/parser.mli: Dd_core Lexer

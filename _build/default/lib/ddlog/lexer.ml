@@ -1,0 +1,193 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | BOOL of bool
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | TURNSTILE
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | BANG
+  | AT
+  | COLON
+  | EOF
+
+type position = { line : int; column : int }
+
+exception Lex_error of string * position
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | BOOL b -> string_of_bool b
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | TURNSTILE -> ":-"
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | BANG -> "!"
+  | AT -> "@"
+  | COLON -> ":"
+  | EOF -> "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let line = ref 1 and col = ref 1 in
+  let pos () = { line = !line; column = !col } in
+  let out = ref [] in
+  let emit tok p = out := (tok, p) :: !out in
+  let i = ref 0 in
+  let advance () =
+    (if !i < n then
+       match input.[!i] with
+       | '\n' ->
+         incr line;
+         col := 1
+       | _ -> incr col);
+    incr i
+  in
+  let peek k = if !i + k < n then Some input.[!i + k] else None in
+  while !i < n do
+    let p = pos () in
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' || c = '#' then begin
+      while !i < n && input.[!i] <> '\n' do
+        advance ()
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        advance ()
+      done;
+      let word = String.sub input start (!i - start) in
+      match word with
+      | "true" -> emit (BOOL true) p
+      | "false" -> emit (BOOL false) p
+      | _ -> emit (IDENT word) p
+    end
+    else if is_digit c || (c = '-' && (match peek 1 with Some d -> is_digit d | None -> false))
+    then begin
+      let start = !i in
+      if c = '-' then advance ();
+      while !i < n && is_digit input.[!i] do
+        advance ()
+      done;
+      let is_float =
+        !i < n && input.[!i] = '.'
+        && match peek 1 with Some d -> is_digit d | None -> false
+      in
+      if is_float then begin
+        advance ();
+        while !i < n && is_digit input.[!i] do
+          advance ()
+        done;
+        if !i < n && (input.[!i] = 'e' || input.[!i] = 'E') then begin
+          advance ();
+          if !i < n && (input.[!i] = '+' || input.[!i] = '-') then advance ();
+          while !i < n && is_digit input.[!i] do
+            advance ()
+          done
+        end;
+        emit (FLOAT (float_of_string (String.sub input start (!i - start)))) p
+      end
+      else emit (INT (int_of_string (String.sub input start (!i - start)))) p
+    end
+    else begin
+      match c with
+      | '"' ->
+        advance ();
+        let buffer = Buffer.create 16 in
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          let ch = input.[!i] in
+          if ch = '"' then begin
+            closed := true;
+            advance ()
+          end
+          else if ch = '\\' && peek 1 <> None then begin
+            advance ();
+            let esc = input.[!i] in
+            Buffer.add_char buffer
+              (match esc with 'n' -> '\n' | 't' -> '\t' | other -> other);
+            advance ()
+          end
+          else begin
+            Buffer.add_char buffer ch;
+            advance ()
+          end
+        done;
+        if not !closed then raise (Lex_error ("unterminated string", p));
+        emit (STRING (Buffer.contents buffer)) p
+      | '(' ->
+        advance ();
+        emit LPAREN p
+      | ')' ->
+        advance ();
+        emit RPAREN p
+      | ',' ->
+        advance ();
+        emit COMMA p
+      | '.' ->
+        advance ();
+        emit DOT p
+      | '@' ->
+        advance ();
+        emit AT p
+      | '=' ->
+        advance ();
+        emit EQ p
+      | ':' ->
+        if peek 1 = Some '-' then begin
+          advance ();
+          advance ();
+          emit TURNSTILE p
+        end
+        else begin
+          advance ();
+          emit COLON p
+        end
+      | '!' ->
+        if peek 1 = Some '=' then begin
+          advance ();
+          advance ();
+          emit NEQ p
+        end
+        else begin
+          advance ();
+          emit BANG p
+        end
+      | '<' ->
+        if peek 1 = Some '=' then begin
+          advance ();
+          advance ();
+          emit LE p
+        end
+        else begin
+          advance ();
+          emit LT p
+        end
+      | other -> raise (Lex_error (Printf.sprintf "unexpected character %c" other, p))
+    end
+  done;
+  emit EOF (pos ());
+  List.rev !out

@@ -1,0 +1,30 @@
+(** Lexer for the DDlog surface language. *)
+
+type token =
+  | IDENT of string  (** lowercase-led identifier *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | BOOL of bool
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | TURNSTILE  (** [:-] *)
+  | EQ  (** [=] *)
+  | NEQ  (** [!=] *)
+  | LT
+  | LE
+  | BANG  (** [!] (negation) *)
+  | AT  (** [@] (rule name annotation) *)
+  | COLON
+  | EOF
+
+type position = { line : int; column : int }
+
+exception Lex_error of string * position
+
+val tokenize : string -> (token * position) list
+(** Whole-input tokenization; [//] and [#] start line comments. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,1 @@
+lib/fgraph/exact.ml: Array Dd_util Graph List Printf

@@ -1,0 +1,1 @@
+lib/fgraph/exact.mli: Graph

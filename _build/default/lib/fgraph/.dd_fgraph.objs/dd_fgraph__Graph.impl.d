@@ -1,0 +1,1 @@
+lib/fgraph/graph.ml: Array List Semantics

@@ -1,0 +1,1 @@
+lib/fgraph/graph.mli: Semantics

@@ -1,0 +1,1 @@
+lib/fgraph/semantics.mli: Format

@@ -1,0 +1,1 @@
+lib/fgraph/serialize.ml: Array Buffer Fun Graph List Printf Semantics String

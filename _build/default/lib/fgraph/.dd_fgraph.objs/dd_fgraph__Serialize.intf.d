@@ -1,0 +1,1 @@
+lib/fgraph/serialize.mli: Graph

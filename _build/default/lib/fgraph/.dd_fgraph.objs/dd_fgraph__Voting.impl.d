@@ -1,0 +1,1 @@
+lib/fgraph/voting.ml: Array Dd_util Graph Semantics

@@ -1,0 +1,1 @@
+lib/fgraph/voting.mli: Graph Semantics

@@ -1,0 +1,26 @@
+(** Exact inference by exhaustive enumeration of possible worlds.
+
+    Exponential in the number of query variables, so usable only on small
+    graphs — exactly the regime where the paper's "strawman" complete
+    materialization lives, and the ground truth against which the samplers
+    are tested. *)
+
+val max_enumerable : int
+(** Upper bound on the number of query variables accepted (25). *)
+
+val log_partition : Graph.t -> float
+(** Log of [Z = sum_I exp (W (F, I))] over worlds consistent with the
+    evidence. *)
+
+val world_log_weight : Graph.t -> bool array -> float
+(** Unnormalized log-weight of one world (must set evidence correctly). *)
+
+val world_probability : Graph.t -> bool array -> float
+
+val marginals : Graph.t -> float array
+(** Marginal probability of each variable being true; evidence variables
+    report 0 or 1. *)
+
+val enumerate : Graph.t -> (bool array * float) list
+(** Every possible world (assignment over all variables, evidence fixed)
+    with its normalized probability. *)

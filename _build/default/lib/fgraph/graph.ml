@@ -1,0 +1,236 @@
+type var = int
+
+type weight_id = int
+
+type literal = { var : var; negated : bool }
+
+type factor = {
+  head : var option;
+  bodies : literal array array;
+  weight_id : weight_id;
+  semantics : Semantics.t;
+}
+
+type evidence =
+  | Query
+  | Evidence of bool
+
+(* Growable arrays keep appends cheap; incremental grounding extends a live
+   graph with new variables and factors. *)
+type 'a vec = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let vec_create dummy = { data = Array.make 16 dummy; len = 0; dummy }
+
+let vec_push v x =
+  if v.len = Array.length v.data then begin
+    let grown = Array.make (2 * v.len) v.dummy in
+    Array.blit v.data 0 grown 0 v.len;
+    v.data <- grown
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let vec_get v i =
+  if i < 0 || i >= v.len then invalid_arg "Graph: index out of bounds";
+  v.data.(i)
+
+let vec_set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Graph: index out of bounds";
+  v.data.(i) <- x
+
+let vec_copy v = { v with data = Array.copy v.data }
+
+type t = {
+  evidence : evidence vec;
+  weights : float vec;
+  learnable : bool vec;
+  factors : factor vec;
+  adjacency : int list vec;  (** var -> factor indices *)
+}
+
+let create () =
+  {
+    evidence = vec_create Query;
+    weights = vec_create 0.0;
+    learnable = vec_create false;
+    factors =
+      vec_create { head = None; bodies = [||]; weight_id = 0; semantics = Semantics.Linear };
+    adjacency = vec_create [];
+  }
+
+let num_vars t = t.evidence.len
+
+let num_factors t = t.factors.len
+
+let num_weights t = t.weights.len
+
+let add_var ?(evidence = Query) t =
+  vec_push t.evidence evidence;
+  vec_push t.adjacency [];
+  t.evidence.len - 1
+
+let add_vars ?evidence t n = Array.init n (fun _ -> add_var ?evidence t)
+
+let add_weight ?(learnable = false) t value =
+  vec_push t.weights value;
+  vec_push t.learnable learnable;
+  t.weights.len - 1
+
+let vars_of_factor f =
+  let vars =
+    Array.to_list (Array.concat (Array.to_list f.bodies))
+    |> List.map (fun l -> l.var)
+  in
+  let vars = match f.head with Some h -> h :: vars | None -> vars in
+  List.sort_uniq compare vars
+
+let add_factor t f =
+  let check_var v =
+    if v < 0 || v >= num_vars t then invalid_arg "Graph.add_factor: unknown variable"
+  in
+  (match f.head with Some h -> check_var h | None -> ());
+  Array.iter (fun body -> Array.iter (fun l -> check_var l.var) body) f.bodies;
+  if f.weight_id < 0 || f.weight_id >= num_weights t then
+    invalid_arg "Graph.add_factor: unknown weight";
+  vec_push t.factors f;
+  let idx = t.factors.len - 1 in
+  List.iter (fun v -> vec_set t.adjacency v (idx :: vec_get t.adjacency v)) (vars_of_factor f);
+  idx
+
+let pairwise t ~weight a b =
+  add_factor t
+    {
+      head = None;
+      bodies = [| [| { var = a; negated = false }; { var = b; negated = false } |] |];
+      weight_id = weight;
+      semantics = Semantics.Logical;
+    }
+
+let unary t ~weight v =
+  add_factor t
+    {
+      head = None;
+      bodies = [| [| { var = v; negated = false } |] |];
+      weight_id = weight;
+      semantics = Semantics.Logical;
+    }
+
+let implication t ~weight ~semantics body head =
+  add_factor t
+    {
+      head = Some head;
+      bodies = [| Array.of_list (List.map (fun v -> { var = v; negated = false }) body) |];
+      weight_id = weight;
+      semantics;
+    }
+
+let extend_factor t i bodies =
+  if Array.length bodies > 0 then begin
+    let f = vec_get t.factors i in
+    let known = vars_of_factor f in
+    let extended = { f with bodies = Array.append f.bodies bodies } in
+    vec_set t.factors i extended;
+    let fresh =
+      List.filter (fun v -> not (List.mem v known)) (vars_of_factor extended)
+    in
+    List.iter (fun v -> vec_set t.adjacency v (i :: vec_get t.adjacency v)) fresh
+  end
+
+let factor t i = vec_get t.factors i
+
+let weight_value t w = vec_get t.weights w
+
+let set_weight t w v = vec_set t.weights w v
+
+let weight_learnable t w = vec_get t.learnable w
+
+let evidence_of t v = vec_get t.evidence v
+
+let set_evidence t v e = vec_set t.evidence v e
+
+let factors_of_var t v = vec_get t.adjacency v
+
+let iter_factors f t =
+  for i = 0 to t.factors.len - 1 do
+    f i t.factors.data.(i)
+  done
+
+let query_vars t =
+  let out = ref [] in
+  for v = num_vars t - 1 downto 0 do
+    match vec_get t.evidence v with
+    | Query -> out := v :: !out
+    | Evidence _ -> ()
+  done;
+  !out
+
+let evidence_vars t =
+  let out = ref [] in
+  for v = num_vars t - 1 downto 0 do
+    match vec_get t.evidence v with
+    | Query -> ()
+    | Evidence b -> out := (v, b) :: !out
+  done;
+  !out
+
+let body_satisfied assignment body =
+  Array.for_all (fun l -> assignment l.var <> l.negated) body
+
+let satisfied_bodies assignment f =
+  Array.fold_left
+    (fun acc body -> if body_satisfied assignment body then acc + 1 else acc)
+    0 f.bodies
+
+let factor_energy t f assignment =
+  let n = satisfied_bodies assignment f in
+  let sign =
+    match f.head with
+    | None -> 1.0
+    | Some h -> if assignment h then 1.0 else -1.0
+  in
+  weight_value t f.weight_id *. sign *. Semantics.g f.semantics n
+
+let factor_energy_prefix t f assignment k =
+  let n = ref 0 in
+  for b = 0 to min k (Array.length f.bodies) - 1 do
+    if body_satisfied assignment f.bodies.(b) then incr n
+  done;
+  let sign =
+    match f.head with
+    | None -> 1.0
+    | Some h -> if assignment h then 1.0 else -1.0
+  in
+  weight_value t f.weight_id *. sign *. Semantics.g f.semantics !n
+
+let total_energy t assignment =
+  let acc = ref 0.0 in
+  iter_factors (fun _ f -> acc := !acc +. factor_energy t f assignment) t;
+  !acc
+
+let copy t =
+  {
+    evidence = vec_copy t.evidence;
+    weights = vec_copy t.weights;
+    learnable = vec_copy t.learnable;
+    factors = vec_copy t.factors;
+    adjacency = vec_copy t.adjacency;
+  }
+
+let freeze_assignment t =
+  Array.init (num_vars t) (fun v ->
+      match vec_get t.evidence v with
+      | Evidence b -> b
+      | Query -> false)
+
+let degree_stats t =
+  let n = num_vars t in
+  if n = 0 then (0.0, 0)
+  else begin
+    let total = ref 0 and worst = ref 0 in
+    for v = 0 to n - 1 do
+      let d = List.length (vec_get t.adjacency v) in
+      total := !total + d;
+      worst := max !worst d
+    done;
+    (float_of_int !total /. float_of_int n, !worst)
+  end

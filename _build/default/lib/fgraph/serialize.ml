@@ -1,0 +1,159 @@
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun message -> raise (Format_error message)) fmt
+
+let semantics_code = function
+  | Semantics.Linear -> "linear"
+  | Semantics.Logical -> "logical"
+  | Semantics.Ratio -> "ratio"
+
+let semantics_of_code code =
+  match Semantics.of_string code with
+  | Some s -> s
+  | None -> fail "unknown semantics %s" code
+
+let write_lines ~emit g =
+  emit "ddgraph 1\n";
+  emit (Printf.sprintf "vars %d\n" (Graph.num_vars g));
+  List.iter
+    (fun (v, value) -> emit (Printf.sprintf "evidence %d %d\n" v (if value then 1 else 0)))
+    (Graph.evidence_vars g);
+  for w = 0 to Graph.num_weights g - 1 do
+    emit
+      (Printf.sprintf "weight %.17g %d\n" (Graph.weight_value g w)
+         (if Graph.weight_learnable g w then 1 else 0))
+  done;
+  Graph.iter_factors
+    (fun _ f ->
+      let buffer = Buffer.create 64 in
+      let head = match f.Graph.head with Some h -> h | None -> -1 in
+      Buffer.add_string buffer
+        (Printf.sprintf "factor %d %d %s %d" head f.Graph.weight_id
+           (semantics_code f.Graph.semantics)
+           (Array.length f.Graph.bodies));
+      Array.iter
+        (fun body ->
+          Buffer.add_string buffer (Printf.sprintf " | %d" (Array.length body));
+          Array.iter
+            (fun l ->
+              Buffer.add_string buffer
+                (Printf.sprintf " %d %d" l.Graph.var (if l.Graph.negated then 1 else 0)))
+            body)
+        f.Graph.bodies;
+      Buffer.add_char buffer '\n';
+      emit (Buffer.contents buffer))
+    g;
+  emit "end\n"
+
+let read_lines next_line =
+  let expect_line () =
+    match next_line () with Some l -> l | None -> fail "unexpected end of input"
+  in
+  (match String.split_on_char ' ' (expect_line ()) with
+  | [ "ddgraph"; "1" ] -> ()
+  | _ -> fail "bad header (expected 'ddgraph 1')");
+  let g = Graph.create () in
+  let nvars =
+    match String.split_on_char ' ' (expect_line ()) with
+    | [ "vars"; n ] -> (
+      match int_of_string_opt n with Some n -> n | None -> fail "bad vars count")
+    | _ -> fail "expected vars line"
+  in
+  ignore (Graph.add_vars g nvars);
+  let parse_factor rest =
+    match rest with
+    | head :: weight :: semantics :: nbodies :: tail ->
+      let head = match int_of_string_opt head with Some h -> h | None -> fail "bad head" in
+      let weight_id =
+        match int_of_string_opt weight with Some w -> w | None -> fail "bad weight id"
+      in
+      let semantics = semantics_of_code semantics in
+      let expected_bodies =
+        match int_of_string_opt nbodies with Some n -> n | None -> fail "bad body count"
+      in
+      let bodies = ref [] in
+      let rec parse_bodies = function
+        | [] -> ()
+        | "|" :: nlits :: rest ->
+          let nlits =
+            match int_of_string_opt nlits with Some n -> n | None -> fail "bad literal count"
+          in
+          let lits = Array.make nlits { Graph.var = 0; negated = false } in
+          let rest = ref rest in
+          for i = 0 to nlits - 1 do
+            match !rest with
+            | var :: neg :: tail ->
+              let var =
+                match int_of_string_opt var with Some v -> v | None -> fail "bad literal var"
+              in
+              lits.(i) <- { Graph.var; negated = neg = "1" };
+              rest := tail
+            | _ -> fail "truncated body"
+          done;
+          bodies := lits :: !bodies;
+          parse_bodies !rest
+        | token :: _ -> fail "unexpected token %s in factor" token
+      in
+      parse_bodies tail;
+      let bodies = Array.of_list (List.rev !bodies) in
+      if Array.length bodies <> expected_bodies then
+        fail "body count mismatch (%d declared, %d found)" expected_bodies
+          (Array.length bodies);
+      ignore
+        (Graph.add_factor g
+           {
+             Graph.head = (if head < 0 then None else Some head);
+             bodies;
+             weight_id;
+             semantics;
+           })
+    | _ -> fail "truncated factor line"
+  in
+  let rec loop () =
+    let l = expect_line () in
+    match String.split_on_char ' ' l with
+    | [ "end" ] -> ()
+    | "evidence" :: [ v; value ] ->
+      let v = match int_of_string_opt v with Some v -> v | None -> fail "bad evidence var" in
+      if v < 0 || v >= nvars then fail "evidence var out of range";
+      Graph.set_evidence g v (Graph.Evidence (value = "1"));
+      loop ()
+    | "weight" :: [ value; learnable ] ->
+      let value =
+        match float_of_string_opt value with Some v -> v | None -> fail "bad weight"
+      in
+      ignore (Graph.add_weight ~learnable:(learnable = "1") g value);
+      loop ()
+    | "factor" :: rest ->
+      parse_factor rest;
+      loop ()
+    | _ -> fail "unexpected line: %s" l
+  in
+  loop ();
+  g
+
+let write out g = write_lines ~emit:(output_string out) g
+
+let read ic = read_lines (fun () -> try Some (input_line ic) with End_of_file -> None)
+
+let save path g =
+  let out = open_out path in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> write out g)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+
+let to_string g =
+  let buffer = Buffer.create 4096 in
+  write_lines ~emit:(Buffer.add_string buffer) g;
+  Buffer.contents buffer
+
+let of_string text =
+  let lines = ref (String.split_on_char '\n' text) in
+  read_lines (fun () ->
+      match !lines with
+      | [] -> None
+      | l :: rest ->
+        lines := rest;
+        Some l)

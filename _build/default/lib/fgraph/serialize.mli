@@ -1,0 +1,33 @@
+(** Factor-graph (de)serialization.
+
+    DeepDive materializes the grounded factor graph as a file handed to the
+    external sampler, and the incremental engine's materialization is an
+    overnight artifact meant to be reused across sessions — both need a
+    durable format.  This is a versioned, line-oriented text format:
+    human-greppable, stable under appends, and independent of in-memory
+    representation details.
+
+    {v
+      ddgraph 1
+      vars <n>
+      evidence <var> <0|1>          (one line per evidence variable)
+      weight <value> <0|1>          (in weight-id order; flag = learnable)
+      factor <head|-1> <weight_id> <semantics> <nbodies> | <nlits> <var> <0|1> ... | ...
+      end
+    v} *)
+
+exception Format_error of string
+
+val write : out_channel -> Graph.t -> unit
+
+val read : in_channel -> Graph.t
+(** Raises {!Format_error} on malformed input. *)
+
+val save : string -> Graph.t -> unit
+(** Write to a file path. *)
+
+val load : string -> Graph.t
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t

@@ -1,0 +1,92 @@
+type config = {
+  n_up : int;
+  n_down : int;
+  rule_weight : float;
+  unary_up : float;
+  unary_down : float;
+  semantics : Semantics.t;
+}
+
+let default =
+  {
+    n_up = 10;
+    n_down = 10;
+    rule_weight = 1.0;
+    unary_up = 0.0;
+    unary_down = 0.0;
+    semantics = Semantics.Logical;
+  }
+
+let build cfg =
+  let g = Graph.create () in
+  let q = Graph.add_var g in
+  let ups = Graph.add_vars g cfg.n_up in
+  let downs = Graph.add_vars g cfg.n_down in
+  let body_of v = [| Graph.{ var = v; negated = false } |] in
+  let w_up = Graph.add_weight g cfg.rule_weight in
+  let w_down = Graph.add_weight g (-.cfg.rule_weight) in
+  if cfg.n_up > 0 then
+    ignore
+      (Graph.add_factor g
+         {
+           Graph.head = Some q;
+           bodies = Array.map body_of ups;
+           weight_id = w_up;
+           semantics = cfg.semantics;
+         });
+  if cfg.n_down > 0 then
+    ignore
+      (Graph.add_factor g
+         {
+           Graph.head = Some q;
+           bodies = Array.map body_of downs;
+           weight_id = w_down;
+           semantics = cfg.semantics;
+         });
+  if cfg.unary_up <> 0.0 then begin
+    let w = Graph.add_weight g cfg.unary_up in
+    Array.iter (fun v -> ignore (Graph.unary g ~weight:w v)) ups
+  end;
+  if cfg.unary_down <> 0.0 then begin
+    let w = Graph.add_weight g cfg.unary_down in
+    Array.iter (fun v -> ignore (Graph.unary g ~weight:w v)) downs
+  end;
+  (g, q, ups, downs)
+
+(* Log-factorial with a memoized table. *)
+let log_fact_table = ref [| 0.0 |]
+
+let log_fact n =
+  let table = !log_fact_table in
+  if n < Array.length table then table.(n)
+  else begin
+    let grown = Array.make (n + 1) 0.0 in
+    Array.blit table 0 grown 0 (Array.length table);
+    for i = Array.length table to n do
+      grown.(i) <- grown.(i - 1) +. log (float_of_int i)
+    done;
+    log_fact_table := grown;
+    grown.(n)
+  end
+
+let log_choose n k =
+  if k < 0 || k > n then neg_infinity
+  else log_fact n -. log_fact k -. log_fact (n - k)
+
+let exact_marginal_q cfg =
+  (* Z(s) = sum_k sum_l C(nu,k) C(nd,l)
+            exp (uu*k + ud*l + s*w*(g k - g l)), s in {+1,-1};
+     the double sum separates into a product over the two sides. *)
+  let side n unary sign_w =
+    Array.init (n + 1) (fun k ->
+        log_choose n k
+        +. (unary *. float_of_int k)
+        +. (sign_w *. Semantics.g cfg.semantics k))
+    |> Dd_util.Stats.log_sum_exp
+  in
+  let w = cfg.rule_weight in
+  let log_z_pos = side cfg.n_up cfg.unary_up w +. side cfg.n_down cfg.unary_down (-.w) in
+  let log_z_neg = side cfg.n_up cfg.unary_up (-.w) +. side cfg.n_down cfg.unary_down w in
+  let m = max log_z_pos log_z_neg in
+  let zp = exp (log_z_pos -. m) and zn = exp (log_z_neg -. m) in
+  zp /. (zp +. zn)

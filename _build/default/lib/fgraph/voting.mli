@@ -1,0 +1,31 @@
+(** The voting program of Example 2.5 and Appendix A.
+
+    [q() :- Up(x) weight = w] and [q() :- Down(x) weight = -w], with
+    optional per-variable unary weights.  The closed form of the marginal of
+    [q] is computable by a counting argument, which lets the convergence
+    experiments (Figure 13) measure distance from the true answer even with
+    thousands of variables, where enumeration is hopeless. *)
+
+type config = {
+  n_up : int;
+  n_down : int;
+  rule_weight : float;  (** the [w] of the two rules *)
+  unary_up : float;  (** unary weight on every Up variable *)
+  unary_down : float;
+  semantics : Semantics.t;
+}
+
+val default : config
+(** 10 up, 10 down, weight 1, no unaries, logical semantics. *)
+
+val build : config -> Graph.t * Graph.var * Graph.var array * Graph.var array
+(** Construct the factor graph; returns [(graph, q, ups, downs)].  All
+    variables are query variables. *)
+
+val exact_marginal_q : config -> float
+(** Closed-form [P(q = 1)] via the counting decomposition:
+    worlds factor through [(#true ups, #true downs)], and binomial
+    coefficients weight each count pair. *)
+
+val log_choose : int -> int -> float
+(** [log C(n, k)] via a log-factorial table. *)

@@ -1,0 +1,1 @@
+lib/inference/fast_gibbs.ml: Array Dd_fgraph Dd_util Gibbs Hashtbl List

@@ -1,0 +1,1 @@
+lib/inference/fast_gibbs.mli: Dd_fgraph Dd_util

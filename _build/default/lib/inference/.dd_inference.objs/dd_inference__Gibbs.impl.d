@@ -1,0 +1,1 @@
+lib/inference/gibbs.ml: Array Dd_fgraph Dd_util List

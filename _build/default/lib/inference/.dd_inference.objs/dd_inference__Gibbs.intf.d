@@ -1,0 +1,1 @@
+lib/inference/gibbs.mli: Dd_fgraph Dd_util

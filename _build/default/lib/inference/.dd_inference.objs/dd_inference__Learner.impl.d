@@ -1,0 +1,1 @@
+lib/inference/learner.ml: Array Dd_fgraph Dd_util Gibbs Hashtbl List

@@ -1,0 +1,1 @@
+lib/inference/learner.mli: Dd_fgraph Dd_util

@@ -1,0 +1,1 @@
+lib/inference/map_inference.ml: Array Dd_fgraph Dd_util Gibbs List

@@ -1,0 +1,1 @@
+lib/inference/map_inference.mli: Dd_fgraph Dd_util

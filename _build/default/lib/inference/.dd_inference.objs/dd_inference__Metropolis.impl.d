@@ -1,0 +1,1 @@
+lib/inference/metropolis.ml: Array Dd_fgraph Dd_util Gibbs Hashtbl List

@@ -1,0 +1,1 @@
+lib/inference/metropolis.mli: Dd_fgraph Dd_util

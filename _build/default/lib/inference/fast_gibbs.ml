@@ -1,0 +1,178 @@
+module Graph = Dd_fgraph.Graph
+module Semantics = Dd_fgraph.Semantics
+module Prng = Dd_util.Prng
+module Stats = Dd_util.Stats
+
+(* One occurrence of a variable inside a factor body. *)
+type occurrence = {
+  factor : int;
+  body : int;
+  negated : bool;
+}
+
+type t = {
+  graph : Graph.t;
+  assignment : bool array;
+  (* Per factor, per body: number of unsatisfied literals. *)
+  unsat : int array array;
+  (* Per factor: number of satisfied bodies (n of Equation 1). *)
+  sat : int array;
+  (* Per variable: body occurrences and factors where it is the head. *)
+  occurrences : occurrence list array;
+  head_of : int list array;
+}
+
+let assignment t = t.assignment
+
+let create ?init rng g =
+  let assignment = match init with Some a -> Array.copy a | None -> Gibbs.init_assignment rng g in
+  let nvars = Graph.num_vars g in
+  if Array.length assignment <> nvars then
+    invalid_arg "Fast_gibbs.create: assignment size mismatch";
+  let nfactors = Graph.num_factors g in
+  let unsat = Array.make nfactors [||] in
+  let sat = Array.make nfactors 0 in
+  let occurrences = Array.make nvars [] in
+  let head_of = Array.make nvars [] in
+  Graph.iter_factors
+    (fun fid f ->
+      (match f.Graph.head with
+      | Some h -> head_of.(h) <- fid :: head_of.(h)
+      | None -> ());
+      let counts =
+        Array.mapi
+          (fun body_idx body ->
+            let seen = Hashtbl.create 4 in
+            Array.iter
+              (fun l ->
+                if Hashtbl.mem seen l.Graph.var then
+                  invalid_arg "Fast_gibbs.create: variable repeated within a body";
+                Hashtbl.replace seen l.Graph.var ();
+                occurrences.(l.Graph.var) <-
+                  { factor = fid; body = body_idx; negated = l.Graph.negated }
+                  :: occurrences.(l.Graph.var))
+              body;
+            Array.fold_left
+              (fun acc l ->
+                if assignment.(l.Graph.var) <> l.Graph.negated then acc else acc + 1)
+              0 body)
+          f.Graph.bodies
+      in
+      unsat.(fid) <- counts;
+      sat.(fid) <- Array.fold_left (fun acc c -> if c = 0 then acc + 1 else acc) 0 counts)
+    g;
+  { graph = g; assignment; unsat; sat; occurrences; head_of }
+
+(* Energy of factor [fid] as a function of a hypothetical value [x] for
+   [v], using only cached counts and [v]'s occurrences in it. *)
+let factor_energy_with t fid ~v ~x ~occ_in_factor =
+  let f = Graph.factor t.graph fid in
+  (* Satisfied-body count with v's bodies re-evaluated under x. *)
+  let n = ref t.sat.(fid) in
+  List.iter
+    (fun occ ->
+      let currently_sat = t.unsat.(fid).(occ.body) = 0 in
+      let lit_sat_now = t.assignment.(v) <> occ.negated in
+      let unsat_others = t.unsat.(fid).(occ.body) - (if lit_sat_now then 0 else 1) in
+      let sat_under_x = unsat_others = 0 && x <> occ.negated in
+      if currently_sat && not sat_under_x then decr n
+      else if (not currently_sat) && sat_under_x then incr n)
+    occ_in_factor;
+  let sign =
+    match f.Graph.head with
+    | None -> 1.0
+    | Some h -> if h = v then (if x then 1.0 else -1.0) else if t.assignment.(h) then 1.0 else -1.0
+  in
+  Graph.weight_value t.graph f.Graph.weight_id *. sign *. Semantics.g f.Graph.semantics !n
+
+let conditional_true_prob t v =
+  (* Group v's occurrences by factor, then add head-only factors. *)
+  let by_factor = Hashtbl.create 8 in
+  List.iter
+    (fun occ ->
+      let existing = try Hashtbl.find by_factor occ.factor with Not_found -> [] in
+      Hashtbl.replace by_factor occ.factor (occ :: existing))
+    t.occurrences.(v);
+  List.iter
+    (fun fid -> if not (Hashtbl.mem by_factor fid) then Hashtbl.replace by_factor fid [])
+    t.head_of.(v);
+  let delta = ref 0.0 in
+  Hashtbl.iter
+    (fun fid occ_in_factor ->
+      delta :=
+        !delta
+        +. factor_energy_with t fid ~v ~x:true ~occ_in_factor
+        -. factor_energy_with t fid ~v ~x:false ~occ_in_factor)
+    by_factor;
+  Stats.sigmoid !delta
+
+let set_value t v value =
+  if t.assignment.(v) <> value then begin
+    t.assignment.(v) <- value;
+    List.iter
+      (fun occ ->
+        let lit_sat = value <> occ.negated in
+        let counts = t.unsat.(occ.factor) in
+        let before = counts.(occ.body) in
+        let after = if lit_sat then before - 1 else before + 1 in
+        counts.(occ.body) <- after;
+        if before = 0 && after > 0 then t.sat.(occ.factor) <- t.sat.(occ.factor) - 1
+        else if before > 0 && after = 0 then t.sat.(occ.factor) <- t.sat.(occ.factor) + 1)
+      t.occurrences.(v)
+  end
+
+let resample_var rng t v = set_value t v (Prng.bernoulli rng (conditional_true_prob t v))
+
+let sweep rng t =
+  for v = 0 to Graph.num_vars t.graph - 1 do
+    match Graph.evidence_of t.graph v with
+    | Graph.Query -> resample_var rng t v
+    | Graph.Evidence _ -> ()
+  done
+
+let marginals ?(burn_in = 10) rng g ~sweeps =
+  let t = create rng g in
+  for _ = 1 to burn_in do
+    sweep rng t
+  done;
+  let n = Graph.num_vars g in
+  let totals = Array.make n 0 in
+  for _ = 1 to sweeps do
+    sweep rng t;
+    for v = 0 to n - 1 do
+      if t.assignment.(v) then totals.(v) <- totals.(v) + 1
+    done
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int (max 1 sweeps)) totals
+
+let sample_worlds ?(burn_in = 10) ?(spacing = 1) rng g ~n =
+  let t = create rng g in
+  for _ = 1 to burn_in do
+    sweep rng t
+  done;
+  Array.init n (fun _ ->
+      for _ = 1 to spacing do
+        sweep rng t
+      done;
+      Array.copy t.assignment)
+
+let sweeps_to_converge ?(tolerance = 0.01) ?(max_sweeps = 100_000) ?(check_every = 10) rng g
+    ~target_var ~target_prob =
+  let t = create rng g in
+  let trues = ref 0 and total = ref 0 in
+  let converged_at = ref None in
+  (try
+     for i = 1 to max_sweeps do
+       sweep rng t;
+       if t.assignment.(target_var) then incr trues;
+       incr total;
+       if i mod check_every = 0 then begin
+         let estimate = float_of_int !trues /. float_of_int !total in
+         if abs_float (estimate -. target_prob) <= tolerance then begin
+           converged_at := Some i;
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  !converged_at

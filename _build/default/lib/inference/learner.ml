@@ -1,0 +1,160 @@
+module Graph = Dd_fgraph.Graph
+module Prng = Dd_util.Prng
+module Stats = Dd_util.Stats
+
+let feature_counts g assignment =
+  let lookup v = assignment.(v) in
+  let acc : (Graph.weight_id, float) Hashtbl.t = Hashtbl.create 16 in
+  Graph.iter_factors
+    (fun _ f ->
+      if Graph.weight_learnable g f.Graph.weight_id then begin
+        let w = Graph.weight_value g f.Graph.weight_id in
+        (* factor_energy = w * sign * g(n); divide the weight back out to
+           get the per-weight gradient, handling w = 0 by a unit probe. *)
+        let unit =
+          if w <> 0.0 then Graph.factor_energy g f lookup /. w
+          else begin
+            Graph.set_weight g f.Graph.weight_id 1.0;
+            let e = Graph.factor_energy g f lookup in
+            Graph.set_weight g f.Graph.weight_id 0.0;
+            e
+          end
+        in
+        let prev = try Hashtbl.find acc f.Graph.weight_id with Not_found -> 0.0 in
+        Hashtbl.replace acc f.Graph.weight_id (prev +. unit)
+      end)
+    g;
+  Hashtbl.fold (fun w v out -> (w, v) :: out) acc []
+
+type cd_options = {
+  epochs : int;
+  learning_rate : float;
+  decay : float;
+  l2 : float;
+  chain_sweeps : int;
+}
+
+let default_cd =
+  { epochs = 50; learning_rate = 0.1; decay = 0.05; l2 = 0.0001; chain_sweeps = 2 }
+
+let sweep_all_vars rng g assignment =
+  for v = 0 to Graph.num_vars g - 1 do
+    Gibbs.resample_var rng g assignment v
+  done
+
+let train_cd ?(options = default_cd) ?(on_epoch = fun _ _ -> ()) rng g =
+  (* Persistent chains: the positive chain keeps evidence clamped (the
+     default sweep), the negative chain floats every variable. *)
+  let positive = Gibbs.init_assignment rng g in
+  let negative = Gibbs.init_assignment rng g in
+  for epoch = 0 to options.epochs - 1 do
+    for _ = 1 to options.chain_sweeps do
+      Gibbs.sweep rng g positive;
+      sweep_all_vars rng g negative
+    done;
+    let lr = options.learning_rate /. (1.0 +. (options.decay *. float_of_int epoch)) in
+    let pos = feature_counts g positive in
+    let neg = feature_counts g negative in
+    let gradient : (Graph.weight_id, float) Hashtbl.t = Hashtbl.create 16 in
+    List.iter (fun (w, v) -> Hashtbl.replace gradient w v) pos;
+    List.iter
+      (fun (w, v) ->
+        let prev = try Hashtbl.find gradient w with Not_found -> 0.0 in
+        Hashtbl.replace gradient w (prev -. v))
+      neg;
+    Hashtbl.iter
+      (fun w dv ->
+        let current = Graph.weight_value g w in
+        Graph.set_weight g w (current +. (lr *. (dv -. (options.l2 *. current)))))
+      gradient;
+    on_epoch epoch g
+  done
+
+let pseudo_log_likelihood ?(worlds = 5) rng g =
+  let evidence = Graph.evidence_vars g in
+  if evidence = [] then 0.0
+  else begin
+    let total = ref 0.0 and count = ref 0 in
+    let assignment = Gibbs.init_assignment rng g in
+    for _ = 1 to worlds do
+      Gibbs.sweep rng g assignment;
+      List.iter
+        (fun (v, label) ->
+          let p = Gibbs.conditional_true_prob g assignment v in
+          let p = Stats.clamp 1e-9 (1.0 -. 1e-9) (if label then p else 1.0 -. p) in
+          total := !total +. log p;
+          incr count)
+        evidence
+    done;
+    !total /. float_of_int (max 1 !count)
+  end
+
+type lr_data = {
+  nfeatures : int;
+  rows : (int array * bool) array;
+}
+
+let score weights features =
+  Array.fold_left (fun acc f -> acc +. weights.(f)) 0.0 features
+
+let lr_predict weights features = Stats.sigmoid (score weights features)
+
+let lr_loss data weights =
+  let n = Array.length data.rows in
+  if n = 0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    Array.iter
+      (fun (features, label) ->
+        let p = lr_predict weights features in
+        let p = Stats.clamp 1e-12 (1.0 -. 1e-12) (if label then p else 1.0 -. p) in
+        total := !total -. log p)
+      data.rows;
+    !total /. float_of_int n
+  end
+
+type lr_method =
+  | Sgd
+  | Gd
+
+let train_lr ~method_ ?warm ?(epochs = 50) ?(learning_rate = 0.1) ?(l2 = 0.0001)
+    ?(on_epoch = fun _ _ -> ()) rng data =
+  let weights =
+    match warm with
+    | Some w ->
+      assert (Array.length w = data.nfeatures);
+      Array.copy w
+    | None -> Array.make data.nfeatures 0.0
+  in
+  let n = Array.length data.rows in
+  let order = Array.init n (fun i -> i) in
+  for epoch = 0 to epochs - 1 do
+    let lr = learning_rate /. (1.0 +. (0.05 *. float_of_int epoch)) in
+    (match method_ with
+    | Sgd ->
+      Prng.shuffle_in_place rng order;
+      Array.iter
+        (fun i ->
+          let features, label = data.rows.(i) in
+          let p = lr_predict weights features in
+          let err = (if label then 1.0 else 0.0) -. p in
+          Array.iter
+            (fun f -> weights.(f) <- weights.(f) +. (lr *. (err -. (l2 *. weights.(f)))))
+            features)
+        order
+    | Gd ->
+      let gradient = Array.make data.nfeatures 0.0 in
+      Array.iter
+        (fun (features, label) ->
+          let p = lr_predict weights features in
+          let err = (if label then 1.0 else 0.0) -. p in
+          Array.iter (fun f -> gradient.(f) <- gradient.(f) +. err) features)
+        data.rows;
+      let inv_n = 1.0 /. float_of_int (max 1 n) in
+      Array.iteri
+        (fun f grad ->
+          weights.(f) <- weights.(f) +. (lr *. ((grad *. inv_n) -. (l2 *. weights.(f)))))
+        gradient);
+    on_epoch epoch weights
+  done;
+  weights

@@ -1,0 +1,73 @@
+(** Weight learning.
+
+    Two learners back the paper's experiments:
+
+    - {!train_cd}: generic contrastive-divergence learning over a factor
+      graph — the positive phase clamps evidence variables to their labels,
+      the negative phase lets everything float, and learnable (tied) weights
+      move along the difference of expected feature counts.  This is the
+      Gibbs-based learning loop DeepDive inherits from Tuffy/DimmWitted.
+    - {!train_lr}: exact logistic regression over feature vectors, with
+      stochastic or full-batch gradients and optional warmstart.  This backs
+      the incremental-learning experiments (Appendix B.3/B.4, Figures 16 and
+      17), where the model declared by [Class(x) :- R(x, f)] is exactly a
+      logistic regression and exact losses make convergence measurable. *)
+
+module Graph = Dd_fgraph.Graph
+
+val feature_counts : Graph.t -> bool array -> (Graph.weight_id * float) list
+(** Per learnable weight id, the energy gradient [sum over its factors of
+    sign * g(n)] in the given world. *)
+
+type cd_options = {
+  epochs : int;
+  learning_rate : float;
+  decay : float;  (** step size at epoch [t] is [lr / (1 + decay * t)] *)
+  l2 : float;
+  chain_sweeps : int;  (** Gibbs sweeps per phase per epoch *)
+}
+
+val default_cd : cd_options
+
+val train_cd :
+  ?options:cd_options ->
+  ?on_epoch:(int -> Graph.t -> unit) ->
+  Dd_util.Prng.t ->
+  Graph.t ->
+  unit
+(** Mutates the graph's learnable weights in place. *)
+
+val pseudo_log_likelihood : ?worlds:int -> Dd_util.Prng.t -> Graph.t -> float
+(** Average log conditional probability of each evidence variable's label
+    given sampled assignments of the rest — the quality proxy for generic
+    graphs. *)
+
+(** {1 Logistic regression} *)
+
+type lr_data = {
+  nfeatures : int;
+  rows : (int array * bool) array;  (** (active feature ids, label) *)
+}
+
+val lr_loss : lr_data -> float array -> float
+(** Mean negative log likelihood. *)
+
+val lr_predict : float array -> int array -> float
+(** [P(label = true)] for a feature vector under the weights. *)
+
+type lr_method =
+  | Sgd  (** per-example stochastic updates, shuffled each epoch *)
+  | Gd  (** full-batch gradient descent *)
+
+val train_lr :
+  method_:lr_method ->
+  ?warm:float array ->
+  ?epochs:int ->
+  ?learning_rate:float ->
+  ?l2:float ->
+  ?on_epoch:(int -> float array -> unit) ->
+  Dd_util.Prng.t ->
+  lr_data ->
+  float array
+(** Returns learned weights.  [warm] seeds the model (warmstart); omitted
+    means zero initialization. *)

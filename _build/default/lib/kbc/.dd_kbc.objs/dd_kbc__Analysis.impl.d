@@ -1,0 +1,1 @@
+lib/kbc/analysis.ml: Array Corpus Dd_core Dd_fgraph Dd_relational Dd_util Hashtbl List Option Pipeline Printf Quality

@@ -1,0 +1,1 @@
+lib/kbc/analysis.mli: Corpus Dd_core

@@ -1,0 +1,1 @@
+lib/kbc/calibration.ml: Array Dd_core Dd_fgraph Dd_relational Dd_util Hashtbl List Option Pipeline Printf Quality

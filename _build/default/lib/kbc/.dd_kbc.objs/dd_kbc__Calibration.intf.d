@@ -1,0 +1,1 @@
+lib/kbc/calibration.mli: Corpus Dd_core Dd_util

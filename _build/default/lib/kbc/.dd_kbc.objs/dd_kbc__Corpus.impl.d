@@ -1,0 +1,1 @@
+lib/kbc/corpus.ml: Array Dd_datalog Dd_relational Dd_util Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/kbc/corpus.mli: Dd_datalog Dd_relational

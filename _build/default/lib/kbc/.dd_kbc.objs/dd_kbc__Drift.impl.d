@@ -1,0 +1,1 @@
+lib/kbc/drift.ml: Array Dd_inference Dd_util Hashtbl

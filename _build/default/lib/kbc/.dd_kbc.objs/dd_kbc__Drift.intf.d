@@ -1,0 +1,1 @@
+lib/kbc/drift.mli: Dd_inference

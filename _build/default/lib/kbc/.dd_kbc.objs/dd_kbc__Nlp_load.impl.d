@@ -1,0 +1,1 @@
+lib/kbc/nlp_load.ml: Corpus Dd_relational Dd_text List Printf

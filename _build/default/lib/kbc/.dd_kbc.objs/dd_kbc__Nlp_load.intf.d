@@ -1,0 +1,1 @@
+lib/kbc/nlp_load.mli: Dd_relational

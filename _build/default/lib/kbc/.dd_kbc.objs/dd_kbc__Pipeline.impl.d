@@ -1,0 +1,1 @@
+lib/kbc/pipeline.ml: Corpus Dd_core Dd_datalog Dd_fgraph Dd_relational List

@@ -1,0 +1,1 @@
+lib/kbc/pipeline.mli: Dd_core Dd_datalog Dd_fgraph

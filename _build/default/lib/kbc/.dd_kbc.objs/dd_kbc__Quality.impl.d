@@ -1,0 +1,1 @@
+lib/kbc/quality.ml: Array Dd_core Dd_relational Hashtbl List Pipeline String

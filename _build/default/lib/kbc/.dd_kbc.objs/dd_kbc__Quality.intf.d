@@ -1,0 +1,1 @@
+lib/kbc/quality.mli: Corpus Dd_core Dd_relational Hashtbl

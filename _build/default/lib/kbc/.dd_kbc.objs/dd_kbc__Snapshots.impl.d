@@ -1,0 +1,1 @@
+lib/kbc/snapshots.ml: Corpus Dd_core Dd_inference Dd_relational Dd_util List Pipeline Quality

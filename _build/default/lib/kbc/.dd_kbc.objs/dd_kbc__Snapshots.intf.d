@@ -1,0 +1,1 @@
+lib/kbc/snapshots.mli: Corpus Dd_core Dd_fgraph Pipeline Quality

@@ -1,0 +1,1 @@
+lib/kbc/systems.ml: Corpus List String

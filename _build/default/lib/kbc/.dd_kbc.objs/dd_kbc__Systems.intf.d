@@ -1,0 +1,1 @@
+lib/kbc/systems.mli: Corpus

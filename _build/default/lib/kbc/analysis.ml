@@ -1,0 +1,147 @@
+module Grounding = Dd_core.Grounding
+module Graph = Dd_fgraph.Graph
+module Value = Dd_relational.Value
+module Table = Dd_util.Table
+
+type extraction = {
+  relation : string;
+  entity1 : string;
+  entity2 : string;
+  probability : float;
+  correct : bool;
+}
+
+type missed_fact = {
+  fact : Corpus.fact;
+  best_probability : float option;
+}
+
+type feature_report = {
+  key : string;
+  weight : float;
+  factors : int;
+}
+
+type t = {
+  false_positives : extraction list;
+  missed : missed_fact list;
+  strongest_features : feature_report list;
+  threshold : float;
+}
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let analyze ?(threshold = 0.9) ?(top = 10) grounding marginals ~truth =
+  let db = Grounding.database grounding in
+  let names = Quality.mention_names db in
+  let links = Quality.linking db in
+  let resolve mid = Option.bind (Hashtbl.find_opt names mid) (Hashtbl.find_opt links) in
+  let truth_set = Hashtbl.create 256 in
+  List.iter (fun fact -> Hashtbl.replace truth_set fact ()) truth;
+  (* Resolve every query tuple to an entity-level fact with its marginal. *)
+  let resolved =
+    List.filter_map
+      (fun (rel, tuple, p) ->
+        if rel <> Pipeline.query_relation || Array.length tuple <> 3 then None
+        else
+          match (tuple.(0), tuple.(1), tuple.(2)) with
+          | Value.Str r, Value.Str m1, Value.Str m2 -> (
+            match (resolve m1, resolve m2) with
+            | Some e1, Some e2 -> Some ((r, e1, e2), p)
+            | _ -> None)
+          | _ -> None)
+      (Grounding.marginals_by_relation grounding marginals)
+  in
+  (* Best marginal per entity-level fact. *)
+  let best = Hashtbl.create 256 in
+  List.iter
+    (fun (fact, p) ->
+      match Hashtbl.find_opt best fact with
+      | Some q when q >= p -> ()
+      | _ -> Hashtbl.replace best fact p)
+    resolved;
+  let false_positives =
+    Hashtbl.fold
+      (fun (r, e1, e2) p acc ->
+        if p > threshold && not (Hashtbl.mem truth_set (r, e1, e2)) then
+          { relation = r; entity1 = e1; entity2 = e2; probability = p; correct = false }
+          :: acc
+        else acc)
+      best []
+    |> List.sort (fun a b -> compare b.probability a.probability)
+    |> take top
+  in
+  let missed =
+    List.filter_map
+      (fun fact ->
+        match Hashtbl.find_opt best fact with
+        | Some p when p > threshold -> None
+        | Some p -> Some { fact; best_probability = Some p }
+        | None -> Some { fact; best_probability = None })
+      truth
+    |> List.sort (fun a b ->
+           compare
+             (Option.value a.best_probability ~default:(-1.0))
+             (Option.value b.best_probability ~default:(-1.0)))
+    |> take top
+  in
+  (* Feature influence: learnable weights ranked by |weight|, with the
+     number of factors using each. *)
+  let g = Grounding.graph grounding in
+  let factor_counts = Hashtbl.create 256 in
+  Graph.iter_factors
+    (fun _ f ->
+      let current = try Hashtbl.find factor_counts f.Graph.weight_id with Not_found -> 0 in
+      Hashtbl.replace factor_counts f.Graph.weight_id (current + 1))
+    g;
+  let strongest_features =
+    List.init (Graph.num_weights g) (fun w -> w)
+    |> List.filter (fun w -> Graph.weight_learnable g w)
+    |> List.map (fun w ->
+           {
+             key = Grounding.weight_key_of grounding w;
+             weight = Graph.weight_value g w;
+             factors = (try Hashtbl.find factor_counts w with Not_found -> 0);
+           })
+    |> List.sort (fun a b -> compare (abs_float b.weight) (abs_float a.weight))
+    |> take top
+  in
+  { false_positives; missed; strongest_features; threshold }
+
+let print t =
+  Printf.printf "Most confident false positives (threshold %.2f):\n" t.threshold;
+  if t.false_positives = [] then print_endline "  (none)"
+  else begin
+    let table = Table.create [ "p"; "relation"; "e1"; "e2" ] in
+    List.iter
+      (fun e ->
+        Table.add_row table
+          [ Table.cell_f e.probability; e.relation; e.entity1; e.entity2 ])
+      t.false_positives;
+    Table.print table
+  end;
+  Printf.printf "\nMissed facts (false negatives):\n";
+  if t.missed = [] then print_endline "  (none)"
+  else begin
+    let table = Table.create [ "best p"; "relation"; "e1"; "e2" ] in
+    List.iter
+      (fun m ->
+        let r, e1, e2 = m.fact in
+        Table.add_row table
+          [
+            (match m.best_probability with
+            | Some p -> Table.cell_f p
+            | None -> "no candidate");
+            r;
+            e1;
+            e2;
+          ])
+      t.missed;
+    Table.print table
+  end;
+  Printf.printf "\nStrongest learned features:\n";
+  let table = Table.create [ "weight"; "factors"; "feature" ] in
+  List.iter
+    (fun f -> Table.add_row table [ Table.cell_f f.weight; string_of_int f.factors; f.key ])
+    t.strongest_features;
+  Table.print table

@@ -1,0 +1,54 @@
+(** Error analysis — the fourth phase of the development loop (Section 2.2):
+    "Error analysis is the process of understanding the most common
+    mistakes (incorrect extractions, too-specific features, candidate
+    mistakes, etc.) and deciding how to correct them."
+
+    Where DeepDive users write ad-hoc SQL, this module packages the three
+    reports every iteration needs: the highest-confidence false positives,
+    the missed facts (false negatives with their best candidate's
+    probability), and the most influential learned features with their
+    weights and support. *)
+
+module Grounding = Dd_core.Grounding
+
+type extraction = {
+  relation : string;
+  entity1 : string;
+  entity2 : string;
+  probability : float;
+  correct : bool;
+}
+
+type missed_fact = {
+  fact : Corpus.fact;
+  best_probability : float option;
+      (** highest marginal among candidates resolving to the fact; [None]
+          when no candidate was ever generated (a recall gap in candidate
+          generation, not in inference) *)
+}
+
+type feature_report = {
+  key : string;  (** grounding weight key, e.g. "FE1|r3,r3_cue1" *)
+  weight : float;
+  factors : int;  (** groundings using it *)
+}
+
+type t = {
+  false_positives : extraction list;  (** most confident first *)
+  missed : missed_fact list;  (** lowest best-probability first *)
+  strongest_features : feature_report list;  (** by |weight| *)
+  threshold : float;
+}
+
+val analyze :
+  ?threshold:float ->
+  ?top:int ->
+  Grounding.t ->
+  float array ->
+  truth:Corpus.fact list ->
+  t
+(** [analyze grounding marginals ~truth] with acceptance [threshold]
+    (default 0.9), keeping the [top] (default 10) entries per report. *)
+
+val print : t -> unit
+(** Render the three reports to stdout. *)

@@ -1,0 +1,102 @@
+module Grounding = Dd_core.Grounding
+module Value = Dd_relational.Value
+module Table = Dd_util.Table
+
+type bucket = {
+  lower : float;
+  upper : float;
+  count : int;
+  mean_predicted : float;
+  empirical_precision : float;
+}
+
+type report = {
+  buckets : bucket list;
+  expected_calibration_error : float;
+  total : int;
+}
+
+(* Whether an extraction (resolved to entities) is in the hidden KB. *)
+let correctness_oracle grounding ~truth =
+  let db = Grounding.database grounding in
+  let names = Quality.mention_names db in
+  let links = Quality.linking db in
+  let truth_set = Hashtbl.create 256 in
+  List.iter (fun fact -> Hashtbl.replace truth_set fact ()) truth;
+  fun (rel, tuple, _p) ->
+    if rel <> Pipeline.query_relation || Array.length tuple <> 3 then None
+    else
+      match (tuple.(0), tuple.(1), tuple.(2)) with
+      | Value.Str r, Value.Str m1, Value.Str m2 ->
+        let resolve mid =
+          Option.bind (Hashtbl.find_opt names mid) (Hashtbl.find_opt links)
+        in
+        (match (resolve m1, resolve m2) with
+        | Some e1, Some e2 -> Some (Hashtbl.mem truth_set (r, e1, e2))
+        | _ -> None)
+      | _ -> None
+
+let evaluate ?(bins = 10) grounding marginals ~truth =
+  let oracle = correctness_oracle grounding ~truth in
+  let g = Grounding.graph grounding in
+  let is_prediction (rel, tuple, _) =
+    (* Evidence variables are training data, not predictions. *)
+    match Grounding.var_of grounding rel tuple with
+    | Some v -> Dd_fgraph.Graph.evidence_of g v = Dd_fgraph.Graph.Query
+    | None -> false
+  in
+  let sums = Array.make bins 0.0 in
+  let counts = Array.make bins 0 in
+  let corrects = Array.make bins 0 in
+  let total = ref 0 in
+  List.iter
+    (fun ((_, _, p) as entry) ->
+      if not (is_prediction entry) then ()
+      else
+      match oracle entry with
+      | None -> ()
+      | Some correct ->
+        let bin = min (bins - 1) (int_of_float (p *. float_of_int bins)) in
+        sums.(bin) <- sums.(bin) +. p;
+        counts.(bin) <- counts.(bin) + 1;
+        if correct then corrects.(bin) <- corrects.(bin) + 1;
+        incr total)
+    (Grounding.marginals_by_relation grounding marginals);
+  let buckets =
+    List.init bins (fun b ->
+        let count = counts.(b) in
+        {
+          lower = float_of_int b /. float_of_int bins;
+          upper = float_of_int (b + 1) /. float_of_int bins;
+          count;
+          mean_predicted = (if count = 0 then 0.0 else sums.(b) /. float_of_int count);
+          empirical_precision =
+            (if count = 0 then 0.0 else float_of_int corrects.(b) /. float_of_int count);
+        })
+  in
+  let ece =
+    if !total = 0 then 0.0
+    else
+      List.fold_left
+        (fun acc bucket ->
+          acc
+          +. float_of_int bucket.count /. float_of_int !total
+             *. abs_float (bucket.mean_predicted -. bucket.empirical_precision))
+        0.0 buckets
+  in
+  { buckets; expected_calibration_error = ece; total = !total }
+
+let to_table report =
+  let table = Table.create [ "probability"; "count"; "mean predicted"; "actual precision" ] in
+  List.iter
+    (fun bucket ->
+      if bucket.count > 0 then
+        Table.add_row table
+          [
+            Printf.sprintf "[%.1f, %.1f)" bucket.lower bucket.upper;
+            string_of_int bucket.count;
+            Table.cell_f bucket.mean_predicted;
+            Table.cell_f bucket.empirical_precision;
+          ])
+    report.buckets;
+  table

@@ -1,0 +1,39 @@
+(** Probability calibration — the paper's core quality contract:
+    "DeepDive also produces marginal probabilities that are calibrated: if
+    one examined all facts with probability 0.9, we would expect that
+    approximately 90% of these facts would be correct."
+
+    Buckets the predicted marginals and compares each bucket's mean
+    predicted probability to its empirical precision against the hidden
+    KB, and summarizes the gap as the expected calibration error. *)
+
+module Grounding = Dd_core.Grounding
+
+type bucket = {
+  lower : float;
+  upper : float;
+  count : int;  (** extractions falling in the bucket *)
+  mean_predicted : float;
+  empirical_precision : float;  (** fraction actually in the KB *)
+}
+
+type report = {
+  buckets : bucket list;
+  expected_calibration_error : float;
+      (** count-weighted mean |predicted - empirical| over non-empty buckets *)
+  total : int;
+}
+
+val evaluate :
+  ?bins:int ->
+  Grounding.t ->
+  float array ->
+  truth:Corpus.fact list ->
+  report
+(** [evaluate grounding marginals ~truth] buckets every *predicted* query
+    tuple's marginal into [bins] (default 10) equal-width bins; variables
+    clamped as evidence are training data, not predictions, and are
+    excluded. *)
+
+val to_table : report -> Dd_util.Table.t
+(** Render as "range / count / predicted / actual" rows. *)

@@ -1,0 +1,261 @@
+module Value = Dd_relational.Value
+module Tuple = Dd_relational.Tuple
+module Schema = Dd_relational.Schema
+module Database = Dd_relational.Database
+module Dred = Dd_datalog.Dred
+module Prng = Dd_util.Prng
+
+type config = {
+  name : string;
+  docs : int;
+  sentences_per_doc : int;
+  relations : int;
+  entities : int;
+  truth_pairs_per_relation : int;
+  known_fraction : float;
+  related_rate : float;
+  phrase_noise : float;
+  phrase_corruption : float;
+  phrases_per_relation : int;
+  phrase_ambiguity : float;
+  linking_noise : float;
+  pair_repeat : float;
+  seed : int;
+}
+
+let default =
+  {
+    name = "default";
+    docs = 100;
+    sentences_per_doc = 2;
+    relations = 4;
+    entities = 60;
+    truth_pairs_per_relation = 20;
+    known_fraction = 0.5;
+    related_rate = 0.6;
+    phrase_noise = 0.08;
+    phrase_corruption = 0.05;
+    phrases_per_relation = 4;
+    phrase_ambiguity = 0.15;
+    linking_noise = 0.03;
+    pair_repeat = 0.25;
+    seed = 7;
+  }
+
+type fact = string * string * string
+
+type t = {
+  config : config;
+  static_tables : (string * Tuple.t list) list;
+  doc_tables : (string * Tuple.t list) list array;
+  truth : fact list;
+}
+
+let s = Value.str
+let i = Value.int
+
+let input_schemas =
+  [
+    ( "sentence",
+      Schema.make
+        [ ("doc", Value.TInt); ("sid", Value.TInt); ("phrase", Value.TStr); ("ctx", Value.TStr) ]
+    );
+    ( "mention",
+      Schema.make
+        [ ("sid", Value.TInt); ("mid", Value.TStr); ("name", Value.TStr); ("pos", Value.TInt) ]
+    );
+    ("el", Schema.make [ ("name", Value.TStr); ("eid", Value.TStr) ]);
+    ("rel", Schema.make [ ("r", Value.TStr) ]);
+    ("phrase_rel", Schema.make [ ("phrase", Value.TStr); ("r", Value.TStr) ]);
+    ("known", Schema.make [ ("r", Value.TStr); ("e1", Value.TStr); ("e2", Value.TStr) ]);
+    ("disjoint", Schema.make [ ("r1", Value.TStr); ("r2", Value.TStr) ]);
+    ("true_rel", Schema.make [ ("r", Value.TStr); ("e1", Value.TStr); ("e2", Value.TStr) ]);
+  ]
+
+let rel_name r = Printf.sprintf "r%d" r
+
+let entity_id e = Printf.sprintf "e%d" e
+
+(* A few entities share names so entity linking has genuine ambiguity. *)
+let entity_name cfg e = Printf.sprintf "person_%d" (e mod max 1 (cfg.entities * 9 / 10))
+
+let cue_phrase r k = Printf.sprintf "%s_cue%d" (rel_name r) k
+
+let noise_phrase k = Printf.sprintf "noise%d" k
+
+let ctx_token cfg rng r related =
+  if related && not (Prng.bernoulli rng 0.3) then
+    Printf.sprintf "ctx_%s_%d" (rel_name r) (Prng.int_below rng 3)
+  else Printf.sprintf "ctx_bg_%d" (Prng.int_below rng (max 4 (cfg.relations * 2)))
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let nrels = max 1 cfg.relations in
+  (* Hidden ground truth: per relation, a set of entity pairs. *)
+  let truth = ref [] in
+  let truth_set = Hashtbl.create 256 in
+  for r = 0 to nrels - 1 do
+    let wanted = cfg.truth_pairs_per_relation in
+    let made = ref 0 and attempts = ref 0 in
+    while !made < wanted && !attempts < wanted * 20 do
+      incr attempts;
+      let e1 = Prng.int_below rng cfg.entities and e2 = Prng.int_below rng cfg.entities in
+      if e1 <> e2 && not (Hashtbl.mem truth_set (r, e1, e2)) then begin
+        Hashtbl.replace truth_set (r, e1, e2) ();
+        truth := (rel_name r, entity_id e1, entity_id e2) :: !truth;
+        incr made
+      end
+    done
+  done;
+  let truth_array = Array.of_list !truth in
+  let truth_by_rel =
+    Array.init nrels (fun r ->
+        Array.of_list
+          (List.filter_map
+             (fun (rn, e1, e2) -> if rn = rel_name r then Some (e1, e2) else None)
+             !truth))
+  in
+  (* Incomplete KB for distant supervision. *)
+  let known =
+    List.filter (fun _ -> Prng.bernoulli rng cfg.known_fraction) !truth
+  in
+  (* Disjoint relation pairs (negative supervision). *)
+  let disjoint =
+    List.init nrels (fun r -> (rel_name r, rel_name ((r + 1) mod nrels)))
+    |> List.filter (fun (a, b) -> a <> b)
+  in
+  (* Candidate dictionary: each cue maps to its relation, sometimes to a
+     second one (ambiguity); some noise phrases map to random relations so
+     candidate recall stays high but precision low. *)
+  let phrase_rel = ref [] in
+  for r = 0 to nrels - 1 do
+    for k = 0 to cfg.phrases_per_relation - 1 do
+      phrase_rel := (cue_phrase r k, rel_name r) :: !phrase_rel;
+      if Prng.bernoulli rng cfg.phrase_ambiguity && nrels > 1 then begin
+        let other = (r + 1 + Prng.int_below rng (nrels - 1)) mod nrels in
+        phrase_rel := (cue_phrase r k, rel_name other) :: !phrase_rel
+      end
+    done
+  done;
+  let n_noise_phrases = max 4 (nrels * 2) in
+  for k = 0 to n_noise_phrases - 1 do
+    if Prng.bernoulli rng 0.3 then
+      phrase_rel := (noise_phrase k, rel_name (Prng.int_below rng nrels)) :: !phrase_rel
+  done;
+  (* Entity linking with noise. *)
+  let el =
+    List.init cfg.entities (fun e ->
+        let eid =
+          if Prng.bernoulli rng cfg.linking_noise then
+            entity_id (Prng.int_below rng cfg.entities)
+          else entity_id e
+        in
+        (entity_name cfg e, eid))
+    |> List.sort_uniq compare
+  in
+  (* Documents. *)
+  let name_of_eid = Hashtbl.create cfg.entities in
+  for e = 0 to cfg.entities - 1 do
+    Hashtbl.replace name_of_eid (entity_id e) (entity_name cfg e)
+  done;
+  let recent_pairs = ref [] in
+  let sid = ref 0 in
+  let doc_tables =
+    Array.init cfg.docs (fun doc ->
+        let sentences = ref [] and mentions = ref [] in
+        for _ = 1 to cfg.sentences_per_doc do
+          let id = !sid in
+          incr sid;
+          let related = Prng.bernoulli rng cfg.related_rate && Array.length truth_array > 0 in
+          let r, e1, e2 =
+            if related then begin
+              let reuse =
+                !recent_pairs <> [] && Prng.bernoulli rng cfg.pair_repeat
+              in
+              if reuse then Prng.choice rng (Array.of_list !recent_pairs)
+              else begin
+                let r = Prng.int_below rng nrels in
+                if Array.length truth_by_rel.(r) = 0 then
+                  let rn, e1, e2 = truth_array.(Prng.int_below rng (Array.length truth_array)) in
+                  (rn, e1, e2)
+                else begin
+                  let e1, e2 = Prng.choice rng truth_by_rel.(r) in
+                  (rel_name r, e1, e2)
+                end
+              end
+            end
+            else begin
+              let e1 = Prng.int_below rng cfg.entities in
+              let e2 = (e1 + 1 + Prng.int_below rng (max 1 (cfg.entities - 1))) mod cfg.entities in
+              (rel_name (Prng.int_below rng nrels), entity_id e1, entity_id e2)
+            end
+          in
+          if related then begin
+            recent_pairs := (r, e1, e2) :: !recent_pairs;
+            if List.length !recent_pairs > 20 then
+              recent_pairs := List.filteri (fun idx _ -> idx < 20) !recent_pairs
+          end;
+          let rnum = int_of_string (String.sub r 1 (String.length r - 1)) in
+          let phrase =
+            if Prng.bernoulli rng cfg.phrase_corruption then
+              Printf.sprintf "garbled%d" (Prng.int_below rng 1000)
+            else if related then
+              if Prng.bernoulli rng 0.9 then
+                cue_phrase rnum (Prng.int_below rng cfg.phrases_per_relation)
+              else noise_phrase (Prng.int_below rng n_noise_phrases)
+            else if Prng.bernoulli rng cfg.phrase_noise then
+              cue_phrase rnum (Prng.int_below rng cfg.phrases_per_relation)
+            else noise_phrase (Prng.int_below rng n_noise_phrases)
+          in
+          let ctx = ctx_token cfg rng rnum related in
+          let name1 = try Hashtbl.find name_of_eid e1 with Not_found -> e1 in
+          let name2 = try Hashtbl.find name_of_eid e2 with Not_found -> e2 in
+          sentences := [| i doc; i id; s phrase; s ctx |] :: !sentences;
+          mentions :=
+            [| i id; s (Printf.sprintf "m%d_1" id); s name2; i 1 |]
+            :: [| i id; s (Printf.sprintf "m%d_0" id); s name1; i 0 |]
+            :: !mentions
+        done;
+        [ ("sentence", List.rev !sentences); ("mention", List.rev !mentions) ])
+  in
+  let static_tables =
+    [
+      ("rel", List.init nrels (fun r -> [| s (rel_name r) |]));
+      ("phrase_rel", List.map (fun (p, r) -> [| s p; s r |]) (List.sort_uniq compare !phrase_rel));
+      ("el", List.map (fun (n, e) -> [| s n; s e |]) el);
+      ("known", List.map (fun (r, e1, e2) -> [| s r; s e1; s e2 |]) known);
+      ("disjoint", List.map (fun (a, b) -> [| s a; s b |]) disjoint);
+      ("true_rel", List.map (fun (r, e1, e2) -> [| s r; s e1; s e2 |]) !truth);
+    ]
+  in
+  { config = cfg; static_tables; doc_tables; truth = !truth }
+
+let load t ?docs db =
+  let docs = match docs with Some d -> min d t.config.docs | None -> t.config.docs in
+  List.iter
+    (fun (name, schema) ->
+      if not (Database.mem db name) then ignore (Database.create_table db name schema))
+    input_schemas;
+  List.iter (fun (name, rows) -> Database.insert_rows db name rows) t.static_tables;
+  for doc = 0 to docs - 1 do
+    List.iter (fun (name, rows) -> Database.insert_rows db name rows) t.doc_tables.(doc)
+  done
+
+let doc_delta t ~from_doc ~until_doc =
+  let delta = Dred.Delta.create () in
+  for doc = max 0 from_doc to min t.config.docs until_doc - 1 do
+    List.iter
+      (fun (name, rows) -> List.iter (fun row -> Dred.Delta.insert delta name row) rows)
+      t.doc_tables.(doc)
+  done;
+  delta
+
+let statistics t =
+  let sentences =
+    Array.fold_left
+      (fun acc tables ->
+        acc + List.length (try List.assoc "sentence" tables with Not_found -> []))
+      0 t.doc_tables
+  in
+  Printf.sprintf "%s: %d docs, %d sentences, %d relations, %d true facts" t.config.name
+    t.config.docs sentences t.config.relations (List.length t.truth)

@@ -1,0 +1,75 @@
+(** Synthetic KBC corpora.
+
+    The paper evaluates on five proprietary corpora (1.8M news articles,
+    ad listings, journal articles, ...).  We simulate them: a generator
+    with a hidden ground-truth knowledge base emits documents whose
+    sentences mention entity pairs connected by indicative or noise
+    phrases.  The knobs mirror the axes the paper says distinguish its five
+    systems — text quality (phrase corruption), relational ambiguity
+    (phrase/entity ambiguity), scale, and correlation density — so the
+    factor graphs they induce stress the same tradeoffs.
+
+    Base tables produced:
+    - [sentence(doc, sid, phrase, ctx)] — one row per sentence, with the
+      connective phrase between its two person mentions and a secondary
+      context token (the "deeper NLP feature" of rule FE2);
+    - [mention(sid, mid, name, pos)] — the two entity mentions;
+    - [el(name, eid)] — entity linking (with configurable noise);
+    - [rel(r)], [phrase_rel(phrase, r)] — the candidate dictionary
+      (low-precision, high-recall, as candidate mappings must be);
+    - [known(r, e1, e2)] — the incomplete KB used for distant supervision;
+    - [disjoint(r1, r2)] — relation pairs used for negative examples;
+    - [true_rel(r, e1, e2)] — held-out ground truth (never used by rules).
+
+    Documents are materialized per-document so that experiments can load a
+    prefix and feed the rest through incremental grounding. *)
+
+module Database = Dd_relational.Database
+module Tuple = Dd_relational.Tuple
+module Schema = Dd_relational.Schema
+module Dred = Dd_datalog.Dred
+
+type config = {
+  name : string;
+  docs : int;
+  sentences_per_doc : int;
+  relations : int;
+  entities : int;
+  truth_pairs_per_relation : int;
+  known_fraction : float;  (** fraction of truth exposed as [known] *)
+  related_rate : float;  (** fraction of sentences about a true fact *)
+  phrase_noise : float;  (** unrelated pair drawing an indicative phrase *)
+  phrase_corruption : float;  (** phrase replaced by garbage (bad text) *)
+  phrases_per_relation : int;
+  phrase_ambiguity : float;  (** cue phrase also mapped to a second relation *)
+  linking_noise : float;  (** mention linked to a wrong entity *)
+  pair_repeat : float;  (** sentence reuses an earlier pair (correlations) *)
+  seed : int;
+}
+
+val default : config
+
+type fact = string * string * string  (** (relation, entity1, entity2) *)
+
+type t = {
+  config : config;
+  static_tables : (string * Tuple.t list) list;
+  doc_tables : (string * Tuple.t list) list array;  (** indexed by doc id *)
+  truth : fact list;
+}
+
+val input_schemas : (string * Schema.t) list
+(** Schemas of every base table (shared by all corpora). *)
+
+val generate : config -> t
+
+val load : t -> ?docs:int -> Database.t -> unit
+(** Create base tables and load the static tables plus the first [docs]
+    documents (default: all). *)
+
+val doc_delta : t -> from_doc:int -> until_doc:int -> Dred.Delta.t
+(** Insertions adding documents [from_doc, until_doc) — feed this to
+    incremental grounding. *)
+
+val statistics : t -> string
+(** One-line summary (docs, relations, sentences, truth size). *)

@@ -1,0 +1,60 @@
+module Learner = Dd_inference.Learner
+module Prng = Dd_util.Prng
+
+type t = {
+  nfeatures : int;
+  train_early : Learner.lr_data;
+  train_late : Learner.lr_data;
+  test : Learner.lr_data;
+}
+
+(* Each email draws [k] features: spam emails prefer the spam pool, ham the
+   ham pool; the pools swap membership at the drift point. *)
+let generate ?(emails = 2000) ?(features = 120) ?(drift_at = 0.2) ~seed () =
+  let rng = Prng.create seed in
+  let pool_size = features / 3 in
+  (* The drift retires a quarter of each pool in favour of previously
+     neutral vocabulary: most of the pre-drift model stays valid (concept
+     drift, not a different task), but both learners must pick up the new
+     indicative features. *)
+  let fresh = pool_size / 4 in
+  let spam_pool phase =
+    if phase = 0 then Array.init pool_size (fun k -> k)
+    else
+      Array.init pool_size (fun k ->
+          if k < pool_size - fresh then k else (2 * pool_size) + (k mod fresh))
+  in
+  let ham_pool phase =
+    if phase = 0 then Array.init pool_size (fun k -> pool_size + k)
+    else
+      Array.init pool_size (fun k ->
+          if k < pool_size - fresh then pool_size + k
+          else (2 * pool_size) + fresh + (k mod fresh))
+  in
+  let background = Array.init features (fun k -> k) in
+  let make_email phase =
+    let label = Prng.bernoulli rng 0.45 in
+    let pool = if label then spam_pool phase else ham_pool phase in
+    let k = 4 + Prng.int_below rng 4 in
+    let chosen = Hashtbl.create 8 in
+    for _ = 1 to k do
+      let f =
+        if Prng.bernoulli rng 0.75 then Prng.choice rng pool else Prng.choice rng background
+      in
+      Hashtbl.replace chosen f ()
+    done;
+    (Array.of_seq (Hashtbl.to_seq_keys chosen), label)
+  in
+  let stream =
+    Array.init emails (fun idx ->
+        let phase = if float_of_int idx /. float_of_int emails < drift_at then 0 else 1 in
+        make_email phase)
+  in
+  let slice lo hi = Array.sub stream lo (hi - lo) in
+  let cut10 = emails / 10 and cut30 = emails * 3 / 10 in
+  {
+    nfeatures = features;
+    train_early = { Learner.nfeatures = features; rows = slice 0 cut10 };
+    train_late = { Learner.nfeatures = features; rows = slice 0 cut30 };
+    test = { Learner.nfeatures = features; rows = slice cut30 emails };
+  }

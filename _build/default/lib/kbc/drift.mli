@@ -1,0 +1,24 @@
+(** Concept-drift workload (Appendix B.4, Figure 17).
+
+    A stream of synthetic "emails" whose spam-indicating features change
+    distribution partway through, standing in for the chronological email
+    dataset of Katakis et al. used by the paper.  A logistic-regression
+    classifier (the [Class(x) :- R(x, f)] one-liner of Example 2.6) is
+    trained on a prefix and evaluated on the final 70%: Rerun trains on the
+    30% prefix from scratch, Incremental materializes on the 10% prefix and
+    warmstarts on the 30% prefix. *)
+
+module Learner = Dd_inference.Learner
+
+type t = {
+  nfeatures : int;
+  train_early : Learner.lr_data;  (** first 10% (materialization time) *)
+  train_late : Learner.lr_data;  (** first 30% (update time) *)
+  test : Learner.lr_data;  (** last 70% *)
+}
+
+val generate :
+  ?emails:int -> ?features:int -> ?drift_at:float -> seed:int -> unit -> t
+(** [drift_at] (default 0.2) is the stream position where the feature
+    distribution shifts — inside the training prefix, so the late training
+    data straddles the drift. *)

@@ -1,0 +1,88 @@
+module Database = Dd_relational.Database
+module Value = Dd_relational.Value
+module Tokenizer = Dd_text.Tokenizer
+module Mention_finder = Dd_text.Mention_finder
+module Features = Dd_text.Features
+
+type stats = {
+  documents : int;
+  sentences : int;
+  pairs : int;
+  mentions_found : int;
+}
+
+let pair_rows ~first_sid ~entity_names docs =
+  let dict = Mention_finder.dictionary entity_names in
+  let sentence_rows = ref [] and mention_rows = ref [] in
+  let sid = ref first_sid in
+  let sentences = ref 0 and pairs = ref 0 and mentions_found = ref 0 in
+  List.iter
+    (fun (doc_id, text) ->
+      List.iter
+        (fun (_, sentence) ->
+          incr sentences;
+          let tokens = Tokenizer.tokenize sentence in
+          let mentions = Mention_finder.find dict tokens in
+          mentions_found := !mentions_found + List.length mentions;
+          (* Every ordered pair of distinct mentions becomes a candidate
+             row group. *)
+          List.iteri
+            (fun i m1 ->
+              List.iteri
+                (fun j m2 ->
+                  if i < j then begin
+                    let id = !sid in
+                    incr sid;
+                    incr pairs;
+                    let ctx = Features.{ tokens; m1; m2 } in
+                    let phrase =
+                      match Features.phrase_between ctx with
+                      | Some p -> p
+                      | None -> "<none>"
+                    in
+                    sentence_rows :=
+                      [|
+                        Value.int doc_id;
+                        Value.int id;
+                        Value.str phrase;
+                        Value.str (Features.mention_distance_bucket ctx);
+                      |]
+                      :: !sentence_rows;
+                    mention_rows :=
+                      [|
+                        Value.int id;
+                        Value.str (Printf.sprintf "m%d_1" id);
+                        Value.str m2.Mention_finder.surface;
+                        Value.int 1;
+                      |]
+                      :: [|
+                           Value.int id;
+                           Value.str (Printf.sprintf "m%d_0" id);
+                           Value.str m1.Mention_finder.surface;
+                           Value.int 0;
+                         |]
+                      :: !mention_rows
+                  end)
+                mentions)
+            mentions)
+        (Tokenizer.sentences text))
+    docs;
+  ( [ ("sentence", List.rev !sentence_rows); ("mention", List.rev !mention_rows) ],
+    {
+      documents = List.length docs;
+      sentences = !sentences;
+      pairs = !pairs;
+      mentions_found = !mentions_found;
+    } )
+
+let load_documents ?(first_sid = 0) db ~entity_names docs =
+  let tables, stats = pair_rows ~first_sid ~entity_names docs in
+  List.iter
+    (fun (name, rows) ->
+      (match Database.find_opt db name with
+      | Some _ -> ()
+      | None ->
+        ignore (Database.create_table db name (List.assoc name Corpus.input_schemas)));
+      Database.insert_rows db name rows)
+    tables;
+  stats

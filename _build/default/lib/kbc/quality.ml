@@ -1,0 +1,124 @@
+module Grounding = Dd_core.Grounding
+module Database = Dd_relational.Database
+module Relation = Dd_relational.Relation
+module Value = Dd_relational.Value
+module Tuple = Dd_relational.Tuple
+
+type score = {
+  precision : float;
+  recall : float;
+  f1 : float;
+  predicted : int;
+  correct : int;
+}
+
+(* mid -> mention name, from the mention base table. *)
+let mention_names db =
+  let table = Hashtbl.create 256 in
+  (match Database.find_opt db "mention" with
+  | None -> ()
+  | Some rel ->
+    Relation.iter
+      (fun tuple _ ->
+        match (tuple.(1), tuple.(2)) with
+        | Value.Str mid, Value.Str name -> Hashtbl.replace table mid name
+        | _ -> ())
+      rel);
+  table
+
+(* name -> entity id (first linked entity in sorted order, mirroring a
+   resolution heuristic). *)
+let linking db =
+  let table = Hashtbl.create 256 in
+  (match Database.find_opt db "el" with
+  | None -> ()
+  | Some rel ->
+    Relation.iter
+      (fun tuple _ ->
+        match (tuple.(0), tuple.(1)) with
+        | Value.Str name, Value.Str eid -> (
+          match Hashtbl.find_opt table name with
+          | Some existing when String.compare existing eid <= 0 -> ()
+          | _ -> Hashtbl.replace table name eid)
+        | _ -> ())
+      rel);
+  table
+
+let evaluate ?(threshold = 0.9) grounding marginals ~truth =
+  let db = Grounding.database grounding in
+  let names = mention_names db in
+  let links = linking db in
+  let resolve mid =
+    match Hashtbl.find_opt names mid with
+    | None -> None
+    | Some name -> Hashtbl.find_opt links name
+  in
+  let predicted = Hashtbl.create 256 in
+  List.iter
+    (fun (rel, tuple, p) ->
+      if p > threshold && Array.length tuple = 3 && rel = Pipeline.query_relation then begin
+        match (tuple.(0), tuple.(1), tuple.(2)) with
+        | Value.Str r, Value.Str m1, Value.Str m2 -> (
+          match (resolve m1, resolve m2) with
+          | Some e1, Some e2 -> Hashtbl.replace predicted (r, e1, e2) ()
+          | _ -> ())
+        | _ -> ()
+      end)
+    (Grounding.marginals_by_relation grounding marginals);
+  let truth_set = Hashtbl.create 256 in
+  List.iter (fun (r, e1, e2) -> Hashtbl.replace truth_set (r, e1, e2) ()) truth;
+  let correct =
+    Hashtbl.fold (fun fact () acc -> if Hashtbl.mem truth_set fact then acc + 1 else acc)
+      predicted 0
+  in
+  let npred = Hashtbl.length predicted in
+  let ntruth = List.length truth in
+  let precision = if npred = 0 then 0.0 else float_of_int correct /. float_of_int npred in
+  let recall = if ntruth = 0 then 0.0 else float_of_int correct /. float_of_int ntruth in
+  let f1 =
+    if precision +. recall = 0.0 then 0.0
+    else 2.0 *. precision *. recall /. (precision +. recall)
+  in
+  { precision; recall; f1; predicted = npred; correct }
+
+type agreement = {
+  high_conf_jaccard : float;
+  frac_diff_gt : float;
+  max_diff : float;
+}
+
+let compare_marginals a b =
+  let key (rel, tuple, _) = rel ^ "#" ^ Tuple.to_string tuple in
+  let table = Hashtbl.create 256 in
+  List.iter (fun ((_, _, p) as entry) -> Hashtbl.replace table (key entry) p) b;
+  let high_a = ref 0 and high_b = ref 0 and high_both = ref 0 in
+  let diffs = ref 0 and total = ref 0 and max_diff = ref 0.0 in
+  List.iter
+    (fun ((_, _, pa) as entry) ->
+      let pb = try Hashtbl.find table (key entry) with Not_found -> 0.0 in
+      incr total;
+      let d = abs_float (pa -. pb) in
+      if d > 0.05 then incr diffs;
+      if d > !max_diff then max_diff := d;
+      if pa > 0.9 then incr high_a;
+      if pb > 0.9 then incr high_b;
+      if pa > 0.9 && pb > 0.9 then incr high_both)
+    a;
+  (* Count high-confidence facts present only in [b]. *)
+  let keys_a = Hashtbl.create 256 in
+  List.iter (fun entry -> Hashtbl.replace keys_a (key entry) ()) a;
+  List.iter
+    (fun ((_, _, pb) as entry) ->
+      if not (Hashtbl.mem keys_a (key entry)) then begin
+        incr total;
+        if pb > 0.05 then incr diffs;
+        if pb > 0.9 then incr high_b
+      end)
+    b;
+  let union = !high_a + !high_b - !high_both in
+  {
+    high_conf_jaccard =
+      (if union = 0 then 1.0 else float_of_int !high_both /. float_of_int union);
+    frac_diff_gt = (if !total = 0 then 0.0 else float_of_int !diffs /. float_of_int !total);
+    max_diff = !max_diff;
+  }

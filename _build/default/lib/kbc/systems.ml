@@ -1,0 +1,89 @@
+let adversarial =
+  {
+    Corpus.default with
+    Corpus.name = "Adversarial";
+    docs = 160;
+    sentences_per_doc = 1;
+    relations = 1;
+    entities = 50;
+    truth_pairs_per_relation = 30;
+    phrase_corruption = 0.3;
+    phrase_noise = 0.15;
+    linking_noise = 0.08;
+    related_rate = 0.55;
+    pair_repeat = 0.1;
+    seed = 11;
+  }
+
+let news =
+  {
+    Corpus.default with
+    Corpus.name = "News";
+    docs = 90;
+    sentences_per_doc = 2;
+    relations = 8;
+    entities = 70;
+    truth_pairs_per_relation = 10;
+    phrase_corruption = 0.08;
+    phrase_ambiguity = 0.2;
+    linking_noise = 0.04;
+    related_rate = 0.6;
+    pair_repeat = 0.3;
+    seed = 12;
+  }
+
+let genomics =
+  {
+    Corpus.default with
+    Corpus.name = "Genomics";
+    docs = 40;
+    sentences_per_doc = 2;
+    relations = 3;
+    entities = 40;
+    truth_pairs_per_relation = 12;
+    phrase_corruption = 0.01;
+    phrase_ambiguity = 0.4;
+    phrase_noise = 0.1;
+    related_rate = 0.65;
+    pair_repeat = 0.25;
+    seed = 13;
+  }
+
+let pharma =
+  {
+    Corpus.default with
+    Corpus.name = "Pharma";
+    docs = 80;
+    sentences_per_doc = 2;
+    relations = 5;
+    entities = 60;
+    truth_pairs_per_relation = 12;
+    phrase_corruption = 0.03;
+    phrase_ambiguity = 0.35;
+    phrase_noise = 0.12;
+    related_rate = 0.6;
+    pair_repeat = 0.35;
+    seed = 14;
+  }
+
+let paleontology =
+  {
+    Corpus.default with
+    Corpus.name = "Paleontology";
+    docs = 60;
+    sentences_per_doc = 2;
+    relations = 4;
+    entities = 50;
+    truth_pairs_per_relation = 14;
+    phrase_corruption = 0.01;
+    phrase_ambiguity = 0.05;
+    phrase_noise = 0.03;
+    related_rate = 0.7;
+    pair_repeat = 0.1;
+    seed = 15;
+  }
+
+let all = [ adversarial; news; genomics; pharma; paleontology ]
+
+let by_name name =
+  List.find_opt (fun c -> String.lowercase_ascii c.Corpus.name = String.lowercase_ascii name) all

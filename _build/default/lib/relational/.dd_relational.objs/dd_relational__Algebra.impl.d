@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Hashtbl List Relation Schema Tuple Value

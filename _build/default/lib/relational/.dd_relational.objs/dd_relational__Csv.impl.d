@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Array List Printf Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Format Hashtbl List Relation String

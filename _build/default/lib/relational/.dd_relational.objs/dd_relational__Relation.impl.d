@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Format Hashtbl List Printf Schema Tuple

@@ -1,0 +1,53 @@
+let parse_value ty raw =
+  let raw = String.trim raw in
+  if raw = "" then Value.Null
+  else
+    match ty with
+    | Value.TInt -> (
+      match int_of_string_opt raw with
+      | Some i -> Value.Int i
+      | None -> invalid_arg ("Csv: not an int: " ^ raw))
+    | Value.TFloat -> (
+      match float_of_string_opt raw with
+      | Some f -> Value.Float f
+      | None -> invalid_arg ("Csv: not a float: " ^ raw))
+    | Value.TBool -> (
+      match String.lowercase_ascii raw with
+      | "true" | "t" | "1" -> Value.Bool true
+      | "false" | "f" | "0" -> Value.Bool false
+      | _ -> invalid_arg ("Csv: not a bool: " ^ raw))
+    | Value.TStr -> Value.Str raw
+
+let parse_line schema line =
+  let fields = String.split_on_char ',' line in
+  let columns = Schema.columns schema in
+  if List.length fields <> Array.length columns then
+    invalid_arg
+      (Printf.sprintf "Csv: expected %d fields, found %d in %S" (Array.length columns)
+         (List.length fields) line);
+  Array.of_list (List.mapi (fun idx raw -> parse_value columns.(idx).Schema.ty raw) fields)
+
+let is_header schema line =
+  let fields = List.map String.trim (String.split_on_char ',' line) in
+  fields = Schema.names schema
+
+let load_string rel text =
+  let schema = Relation.schema rel in
+  let count = ref 0 in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx line ->
+      let line = String.trim line in
+      if line <> "" && not (idx = 0 && is_header schema line) then begin
+        Relation.insert rel (parse_line schema line);
+        incr count
+      end)
+    lines;
+  !count
+
+let load_file rel path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  load_string rel contents

@@ -1,0 +1,41 @@
+type t = { tables : (string, Relation.t) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 16 }
+
+let create_table t name schema =
+  if Hashtbl.mem t.tables name then
+    invalid_arg ("Database.create_table: table exists: " ^ name);
+  let r = Relation.create ~name schema in
+  Hashtbl.replace t.tables name r;
+  r
+
+let register t r = Hashtbl.replace t.tables (Relation.name r) r
+
+let drop_table t name = Hashtbl.remove t.tables name
+
+let find t name = Hashtbl.find t.tables name
+
+let find_opt t name = Hashtbl.find_opt t.tables name
+
+let mem t name = Hashtbl.mem t.tables name
+
+let table_names t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [])
+
+let insert_rows t name rows =
+  let r = find t name in
+  List.iter (fun row -> Relation.insert r row) rows
+
+let copy t =
+  let fresh = create () in
+  Hashtbl.iter (fun name r -> Hashtbl.replace fresh.tables name (Relation.copy r)) t.tables;
+  fresh
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun name ->
+      let r = find t name in
+      Format.fprintf fmt "%s: %d tuples@," name (Relation.cardinality r))
+    (table_names t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,127 @@
+type t = {
+  name : string;
+  schema : Schema.t;
+  rows : int Tuple.Hashtbl.t;
+  (* Cached hash indexes keyed by the indexed column positions; maintained
+     incrementally on membership changes. *)
+  indexes : (int array, (Tuple.t, Tuple.t list) Hashtbl.t) Hashtbl.t;
+}
+
+let create ?(name = "<anon>") schema =
+  { name; schema; rows = Tuple.Hashtbl.create 64; indexes = Hashtbl.create 4 }
+
+let index_add indexes tuple =
+  Hashtbl.iter
+    (fun key_cols index ->
+      let key = Tuple.project tuple key_cols in
+      let existing = try Hashtbl.find index key with Not_found -> [] in
+      Hashtbl.replace index key (tuple :: existing))
+    indexes
+
+let index_remove indexes tuple =
+  Hashtbl.iter
+    (fun key_cols index ->
+      let key = Tuple.project tuple key_cols in
+      match Hashtbl.find_opt index key with
+      | None -> ()
+      | Some tuples -> (
+        match List.filter (fun t -> not (Tuple.equal t tuple)) tuples with
+        | [] -> Hashtbl.remove index key
+        | remaining -> Hashtbl.replace index key remaining))
+    indexes
+
+let name t = t.name
+
+let schema t = t.schema
+
+let cardinality t = Tuple.Hashtbl.length t.rows
+
+let total_count t = Tuple.Hashtbl.fold (fun _ c acc -> acc + c) t.rows 0
+
+let mem t tup = Tuple.Hashtbl.mem t.rows tup
+
+let count t tup = try Tuple.Hashtbl.find t.rows tup with Not_found -> 0
+
+let insert ?(count = 1) t tup =
+  if count <= 0 then invalid_arg "Relation.insert: count must be positive";
+  if not (Schema.conforms t.schema tup) then
+    invalid_arg
+      (Printf.sprintf "Relation.insert: tuple %s does not conform to %s%s"
+         (Tuple.to_string tup) t.name
+         (Format.asprintf "%a" Schema.pp t.schema));
+  let current = try Tuple.Hashtbl.find t.rows tup with Not_found -> 0 in
+  Tuple.Hashtbl.replace t.rows tup (current + count);
+  if current = 0 then index_add t.indexes tup
+
+let remove ?(count = 1) t tup =
+  if count <= 0 then invalid_arg "Relation.remove: count must be positive";
+  match Tuple.Hashtbl.find_opt t.rows tup with
+  | None -> 0
+  | Some current ->
+    let removed = min count current in
+    if current - removed = 0 then begin
+      Tuple.Hashtbl.remove t.rows tup;
+      index_remove t.indexes tup
+    end
+    else Tuple.Hashtbl.replace t.rows tup (current - removed);
+    removed
+
+let delete_all t tup =
+  if Tuple.Hashtbl.mem t.rows tup then begin
+    Tuple.Hashtbl.remove t.rows tup;
+    index_remove t.indexes tup
+  end
+
+let clear t =
+  Tuple.Hashtbl.reset t.rows;
+  Hashtbl.reset t.indexes
+
+let iter f t = Tuple.Hashtbl.iter f t.rows
+
+let fold f t init = Tuple.Hashtbl.fold f t.rows init
+
+let to_list t = fold (fun tup _ acc -> tup :: acc) t []
+
+let to_counted_list t = fold (fun tup c acc -> (tup, c) :: acc) t []
+
+let copy t = { t with rows = Tuple.Hashtbl.copy t.rows; indexes = Hashtbl.create 4 }
+
+let of_list ?name schema tuples =
+  let t = create ?name schema in
+  List.iter (fun tup -> insert t tup) tuples;
+  t
+
+let equal_contents a b =
+  cardinality a = cardinality b
+  && fold (fun tup c acc -> acc && count b tup = c) a true
+
+let equal_sets a b =
+  cardinality a = cardinality b && fold (fun tup _ acc -> acc && mem b tup) a true
+
+let filter pred t =
+  let out = create ~name:t.name t.schema in
+  iter (fun tup c -> if pred tup then insert ~count:c out tup) t;
+  out
+
+let build_index t key_cols =
+  let index = Hashtbl.create (max 16 (cardinality t)) in
+  iter
+    (fun tup _ ->
+      let key = Tuple.project tup key_cols in
+      let existing = try Hashtbl.find index key with Not_found -> [] in
+      Hashtbl.replace index key (tup :: existing))
+    t;
+  index
+
+let get_index t key_cols =
+  match Hashtbl.find_opt t.indexes key_cols with
+  | Some index -> index
+  | None ->
+    let index = build_index t key_cols in
+    Hashtbl.replace t.indexes (Array.copy key_cols) index;
+    index
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s%a {@," t.name Schema.pp t.schema;
+  iter (fun tup c -> Format.fprintf fmt "  %a x%d@," Tuple.pp tup c) t;
+  Format.fprintf fmt "}@]"

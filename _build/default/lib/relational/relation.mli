@@ -1,0 +1,73 @@
+(** Named, schema-checked in-memory relations.
+
+    Storage is a bag with per-tuple multiplicities ("derivation counts"),
+    which is exactly the representation the DRed incremental view-maintenance
+    algorithm needs (each delta relation carries a [count] column tracking
+    the number of derivations of a tuple).  A relation with all counts equal
+    to one behaves as a set. *)
+
+type t
+
+val create : ?name:string -> Schema.t -> t
+
+val name : t -> string
+
+val schema : t -> Schema.t
+
+val cardinality : t -> int
+(** Number of distinct tuples. *)
+
+val total_count : t -> int
+(** Sum of multiplicities. *)
+
+val mem : t -> Tuple.t -> bool
+
+val count : t -> Tuple.t -> int
+(** Multiplicity; 0 when absent. *)
+
+val insert : ?count:int -> t -> Tuple.t -> unit
+(** Add [count] (default 1) derivations of a tuple.  Raises
+    [Invalid_argument] when the tuple does not conform to the schema or
+    [count <= 0]. *)
+
+val remove : ?count:int -> t -> Tuple.t -> int
+(** Subtract up to [count] derivations; returns how many were actually
+    removed. The tuple disappears when its multiplicity reaches zero. *)
+
+val delete_all : t -> Tuple.t -> unit
+(** Drop a tuple regardless of multiplicity. *)
+
+val clear : t -> unit
+
+val iter : (Tuple.t -> int -> unit) -> t -> unit
+
+val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> Tuple.t list
+(** Distinct tuples, unspecified order. *)
+
+val to_counted_list : t -> (Tuple.t * int) list
+
+val copy : t -> t
+
+val of_list : ?name:string -> Schema.t -> Tuple.t list -> t
+
+val equal_contents : t -> t -> bool
+(** Same distinct tuples with the same multiplicities. *)
+
+val equal_sets : t -> t -> bool
+(** Same distinct tuples, multiplicities ignored. *)
+
+val filter : (Tuple.t -> bool) -> t -> t
+
+val build_index : t -> int array -> (Tuple.t, Tuple.t list) Hashtbl.t
+(** [build_index r key_cols] maps each key projection to the distinct tuples
+    carrying it; used for hash joins. *)
+
+val get_index : t -> int array -> (Tuple.t, Tuple.t list) Hashtbl.t
+(** Like {!build_index} but cached on the relation and maintained
+    incrementally by subsequent inserts and removes, so repeated joins on
+    the same columns cost O(changes) instead of O(relation).  The returned
+    table must be treated as read-only. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+type t = Value.t array
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else begin
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+    end
+  in
+  loop 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 t
+
+let to_string t =
+  "(" ^ String.concat ", " (Array.to_list (Array.map Value.to_string t)) ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let project t idxs = Array.map (fun i -> t.(i)) idxs
+
+let concat = Array.append
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+  let compare = compare
+end
+
+module Hashtbl = Hashtbl.Make (Key)
+module Set = Set.Make (Key)
+module Map = Map.Make (Key)

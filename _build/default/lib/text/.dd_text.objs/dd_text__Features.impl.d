@@ -1,0 +1,1 @@
+lib/text/features.ml: List Mention_finder String Tokenizer

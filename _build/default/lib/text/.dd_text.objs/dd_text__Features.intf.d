@@ -1,0 +1,1 @@
+lib/text/features.mli: Mention_finder Tokenizer

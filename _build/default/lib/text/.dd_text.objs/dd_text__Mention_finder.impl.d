@@ -1,0 +1,1 @@
+lib/text/mention_finder.ml: Array Hashtbl List String Tokenizer

@@ -1,0 +1,1 @@
+lib/text/mention_finder.mli: Tokenizer

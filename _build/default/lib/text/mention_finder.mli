@@ -1,0 +1,31 @@
+(** Dictionary-based mention finding — the entity-recognition stage of the
+    KBC pipeline.
+
+    Real DeepDive systems run statistical NER; the candidate-generation
+    contract it must satisfy is only "high recall": every span that might
+    name an entity should surface as a mention.  A dictionary matcher over
+    known entity names (with greedy longest match) satisfies that contract
+    for our synthetic corpora and for the examples, and exposes the same
+    (sentence, mention span, surface form) shape downstream rules consume. *)
+
+type mention = {
+  surface : string;  (** the matched text, as written *)
+  first_token : int;  (** index of the first matched token *)
+  last_token : int;  (** index of the last matched token (inclusive) *)
+  start_offset : int;
+  end_offset : int;
+}
+
+type dictionary
+
+val dictionary : string list -> dictionary
+(** Build a matcher from entity names; matching is case-insensitive on
+    normalized tokens and supports multi-token names. *)
+
+val add_name : dictionary -> string -> unit
+
+val find : dictionary -> Tokenizer.token list -> mention list
+(** Greedy longest-match scan (no overlapping mentions), left to right. *)
+
+val find_in_sentence : dictionary -> string -> mention list
+(** Tokenize then {!find}. *)

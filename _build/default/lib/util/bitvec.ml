@@ -1,0 +1,39 @@
+type t = { length : int; data : Bytes.t }
+
+let create length = { length; data = Bytes.make ((length + 7) / 8) '\000' }
+
+let length t = t.length
+
+let check t i =
+  if i < 0 || i >= t.length then invalid_arg "Bitvec: index out of bounds"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i value =
+  check t i;
+  let byte = Char.code (Bytes.get t.data (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let fresh = if value then byte lor mask else byte land lnot mask in
+  Bytes.set t.data (i lsr 3) (Char.chr fresh)
+
+let of_bool_array a =
+  let t = create (Array.length a) in
+  Array.iteri (fun i v -> if v then set t i true) a;
+  t
+
+let to_bool_array t = Array.init t.length (get t)
+
+let byte_size t = Bytes.length t.data
+
+let pop_count t =
+  let count = ref 0 in
+  for i = 0 to t.length - 1 do
+    if get t i then incr count
+  done;
+  !count
+
+let equal a b = a.length = b.length && Bytes.equal a.data b.data
+
+let copy t = { t with data = Bytes.copy t.data }

@@ -1,0 +1,33 @@
+(** Packed bit vectors.
+
+    The sampling approach materializes worlds as MCDB-style tuple bundles:
+    "a single sample for one random variable only requires 1 bit of
+    storage", which is what makes storing hundreds of samples cheaper than
+    the factor graph itself (under 5% in the paper's systems).  This is
+    that representation: a fixed-length vector of booleans packed 8 per
+    byte. *)
+
+type t
+
+val create : int -> t
+(** All-false vector of the given length. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+
+val set : t -> int -> bool -> unit
+
+val of_bool_array : bool array -> t
+
+val to_bool_array : t -> bool array
+
+val byte_size : t -> int
+(** Bytes of payload storage (excluding the O(1) header). *)
+
+val pop_count : t -> int
+(** Number of set bits. *)
+
+val equal : t -> t -> bool
+
+val copy : t -> t

@@ -1,0 +1,85 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let int_below t n =
+  assert (n > 0);
+  (* Rejection sampling over the top 62 bits avoids modulo bias. *)
+  let mask = max_int in
+  let rec loop () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) land mask in
+    let v = r mod n in
+    if r - v > mask - n + 1 then loop () else v
+  in
+  loop ()
+
+let float_unit t =
+  (* 53 random bits mapped to [0,1). *)
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r *. (1.0 /. 9007199254740992.0)
+
+let float_range t lo hi = lo +. ((hi -. lo) *. float_unit t)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float_unit t < p
+
+let gaussian t =
+  let rec nonzero () =
+    let u = float_unit t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float_unit t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let exponential t rate =
+  assert (rate > 0.0);
+  let rec nonzero () =
+    let u = float_unit t in
+    if u > 0.0 then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let choice t a =
+  assert (Array.length a > 0);
+  a.(int_below t (Array.length a))
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  assert (0 <= k && k <= n);
+  (* Floyd's algorithm keeps memory proportional to k. *)
+  let seen = Hashtbl.create (2 * max 1 k) in
+  let out = Array.make k 0 in
+  let pos = ref 0 in
+  for j = n - k to n - 1 do
+    let r = int_below t (j + 1) in
+    let v = if Hashtbl.mem seen r then j else r in
+    Hashtbl.replace seen v ();
+    out.(!pos) <- v;
+    incr pos
+  done;
+  out

@@ -1,0 +1,53 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    All randomized components of the library (Gibbs sampling,
+    Metropolis-Hastings, corpus generation, weight initialization) draw from
+    this generator so that every experiment is reproducible from a seed.  The
+    core is splitmix64, which has a 64-bit state, passes BigCrush, and is
+    cheap to split into independent streams. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator deterministically derived from
+    [seed]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int_below : t -> int -> int
+(** [int_below t n] is uniform on [0, n-1]. Requires [n > 0]. *)
+
+val float_unit : t -> float
+(** Uniform float in [0, 1). *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform on [lo, hi). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p]. *)
+
+val gaussian : t -> float
+(** Standard normal via Box-Muller. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples Exp(rate). Requires [rate > 0]. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] returns [k] distinct indices drawn
+    uniformly from [0, n-1]. Requires [0 <= k <= n]. *)

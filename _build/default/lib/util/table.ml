@@ -1,0 +1,40 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let cell_f x =
+  if x = 0.0 then "0"
+  else if abs_float x < 0.001 || abs_float x >= 100000.0 then Printf.sprintf "%.2e" x
+  else if abs_float x >= 100.0 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.3f" x
+
+let cell_x x = Printf.sprintf "%.1fx" x
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.headers) rows
+  in
+  let pad row = row @ List.init (ncols - List.length row) (fun _ -> "") in
+  let all = pad t.headers :: List.map pad rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row -> List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row)
+    all;
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i c -> c ^ String.make (widths.(i) - String.length c) ' ') row)
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  match all with
+  | [] -> ""
+  | header :: body ->
+    String.concat "\n" (render_row header :: sep :: List.map render_row body)
+
+let print t =
+  print_string (render t);
+  print_newline ()

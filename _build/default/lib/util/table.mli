@@ -1,0 +1,24 @@
+(** Fixed-width text tables for the benchmark harness output.
+
+    The harness prints the same rows/series the paper reports; this module
+    renders them legibly on a terminal. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells. *)
+
+val render : t -> string
+(** Render with aligned columns and a separator under the header. *)
+
+val print : t -> unit
+(** [print t] writes {!render} to stdout followed by a newline. *)
+
+val cell_f : float -> string
+(** Format a float compactly (3 significant decimals, scientific when tiny). *)
+
+val cell_x : float -> string
+(** Format a speedup factor like ["22.3x"]. *)

@@ -1,0 +1,15 @@
+(** Wall-clock timing helpers used by the benchmark harness. *)
+
+type t
+
+val start : unit -> t
+(** Start a stopwatch. *)
+
+val elapsed_s : t -> float
+(** Seconds since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+
+val time_s : (unit -> unit) -> float
+(** Elapsed seconds of a unit computation. *)

@@ -1,0 +1,39 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx <> ry then
+    if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+    else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end
+
+let same t x y = find t x = find t y
+
+let groups t =
+  let table = Hashtbl.create 16 in
+  Array.iteri
+    (fun x _ ->
+      let r = find t x in
+      let members = try Hashtbl.find table r with Not_found -> [] in
+      Hashtbl.replace table r (x :: members))
+    t.parent;
+  table
+
+let count t =
+  let seen = Hashtbl.create 16 in
+  Array.iteri (fun x _ -> Hashtbl.replace seen (find t x) ()) t.parent;
+  Hashtbl.length seen

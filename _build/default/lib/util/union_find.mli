@@ -1,0 +1,24 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by the factor-graph decomposition heuristic (DESIGN.md, Appendix B.1
+    of the paper) to compute connected components of inactive variables. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Representative of the set containing the element. *)
+
+val union : t -> int -> int -> unit
+(** Merge the two sets. *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements share a set. *)
+
+val groups : t -> (int, int list) Hashtbl.t
+(** Map from representative to the members of its set. *)
+
+val count : t -> int
+(** Number of distinct sets. *)

@@ -1,0 +1,1 @@
+lib/variational/approx.ml: Array Covariance Dd_fgraph Dd_inference Dd_linalg Dd_util List Logdet

@@ -1,0 +1,1 @@
+lib/variational/approx.mli: Dd_fgraph Dd_util Logdet

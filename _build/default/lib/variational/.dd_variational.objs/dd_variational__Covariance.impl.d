@@ -1,0 +1,1 @@
+lib/variational/covariance.ml: Array Dd_fgraph Dd_linalg Hashtbl List

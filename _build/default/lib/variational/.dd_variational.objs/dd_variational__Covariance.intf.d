@@ -1,0 +1,1 @@
+lib/variational/covariance.mli: Dd_fgraph Dd_linalg

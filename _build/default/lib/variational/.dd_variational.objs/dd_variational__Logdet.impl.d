@@ -1,0 +1,1 @@
+lib/variational/logdet.ml: Dd_linalg Dd_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/variational/logdet.mli: Dd_linalg

@@ -1,0 +1,90 @@
+module Graph = Dd_fgraph.Graph
+module Stats = Dd_util.Stats
+module Gibbs = Dd_inference.Gibbs
+
+type stats = {
+  pairwise_factors : int;
+  candidate_pairs : int;
+  solver_iterations_bound : int;
+}
+
+(* Agreement factor: energy w when the two variables are equal.  Encoded as
+   a headless factor with two bodies, (a and b) and (not a and not b); at
+   most one body holds, so logical semantics yields exactly 1{a = b}. *)
+let add_agreement g ~weight a b =
+  ignore
+    (Graph.add_factor g
+       {
+         Graph.head = None;
+         bodies =
+           [|
+             [| { Graph.var = a; negated = false }; { Graph.var = b; negated = false } |];
+             [| { Graph.var = a; negated = true }; { Graph.var = b; negated = true } |];
+           |];
+         weight_id = weight;
+         semantics = Dd_fgraph.Semantics.Logical;
+       })
+
+let materialize ?(lambda = 0.1) ?(solver = Logdet.default) ?(unary_rounds = 3) rng g
+    ~samples =
+  let nvars = Graph.num_vars g in
+  let nz = Covariance.nonzero_pairs g in
+  let m = Covariance.estimate ~samples ~nvars ~nz in
+  (* Line 4: the constrained maximizer x estimates a covariance completion;
+     the model couplings live in its inverse, the (sparse) precision
+     matrix theta.  The box width lambda controls how diagonal x is and
+     hence how sparse theta is. *)
+  let x = Logdet.solve ~options:solver ~nz ~lambda m in
+  let theta = Dd_linalg.Matrix.spd_inverse x in
+  let entries =
+    List.filter_map
+      (fun (i, j) ->
+        let v = Dd_linalg.Matrix.get theta i j in
+        if abs_float v >= solver.Logdet.prune_below then Some (i, j, v) else None)
+      nz
+  in
+  let approx = Graph.create () in
+  for v = 0 to nvars - 1 do
+    ignore (Graph.add_var ~evidence:(Graph.evidence_of g v) approx)
+  done;
+  List.iter
+    (fun (i, j, theta_ij) ->
+      (* Match the Gaussian cross term -theta_ij a_i a_j (0/1 coding):
+         w . 1{a=b} contributes (w/2) s_i s_j in +-1 coding while
+         -theta_ij a_i a_j contributes -(theta_ij/4) s_i s_j, so
+         w = -theta_ij / 2; linear leftovers are absorbed by the unary
+         moment matching below. *)
+      let w = Graph.add_weight approx (-.theta_ij /. 2.0) in
+      add_agreement approx ~weight:w i j)
+    entries;
+  (* Unary moment matching: adjust per-variable bias factors until the
+     approximate graph's marginals track the sampled means. *)
+  let mu = Covariance.means samples nvars in
+  let unary_weights =
+    Array.init nvars (fun v ->
+        match Graph.evidence_of g v with
+        | Graph.Evidence _ -> None
+        | Graph.Query ->
+          let w = Graph.add_weight approx (Stats.logit mu.(v)) in
+          ignore (Graph.unary approx ~weight:w v);
+          Some w)
+  in
+  let sweeps = min 300 (max 50 (Array.length samples / 4)) in
+  for _ = 1 to unary_rounds do
+    let est = Gibbs.marginals rng approx ~sweeps in
+    Array.iteri
+      (fun v weight ->
+        match weight with
+        | None -> ()
+        | Some w ->
+          let correction = Stats.logit mu.(v) -. Stats.logit est.(v) in
+          (* Damped update keeps the matching loop stable. *)
+          Graph.set_weight approx w (Graph.weight_value approx w +. (0.5 *. correction)))
+      unary_weights
+  done;
+  ( approx,
+    {
+      pairwise_factors = List.length entries;
+      candidate_pairs = List.length nz;
+      solver_iterations_bound = solver.Logdet.max_iterations;
+    } )

@@ -1,0 +1,46 @@
+module Graph = Dd_fgraph.Graph
+module Matrix = Dd_linalg.Matrix
+
+let nonzero_pairs g =
+  let seen = Hashtbl.create 256 in
+  Graph.iter_factors
+    (fun _ f ->
+      let vars = Graph.vars_of_factor f in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j -> if i < j then Hashtbl.replace seen (i, j) ())
+            vars)
+        vars)
+    g;
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) seen [])
+
+let means samples nvars =
+  let n = Array.length samples in
+  let totals = Array.make nvars 0 in
+  Array.iter
+    (fun world ->
+      for v = 0 to nvars - 1 do
+        if world.(v) then totals.(v) <- totals.(v) + 1
+      done)
+    samples;
+  Array.map (fun c -> float_of_int c /. float_of_int (max 1 n)) totals
+
+let estimate ~samples ~nvars ~nz =
+  let n = Array.length samples in
+  let mu = means samples nvars in
+  let m = Matrix.create nvars in
+  (* Diagonal: Bernoulli variance. *)
+  for v = 0 to nvars - 1 do
+    Matrix.set m v v (mu.(v) *. (1.0 -. mu.(v)))
+  done;
+  let inv_n = 1.0 /. float_of_int (max 1 n) in
+  List.iter
+    (fun (i, j) ->
+      let both = ref 0 in
+      Array.iter (fun world -> if world.(i) && world.(j) then incr both) samples;
+      let cov = (float_of_int !both *. inv_n) -. (mu.(i) *. mu.(j)) in
+      Matrix.set m i j cov;
+      Matrix.set m j i cov)
+    nz;
+  m

@@ -1,0 +1,20 @@
+(** Sample-based moment estimation for the variational approach
+    (lines 1-3 of Algorithm 1).
+
+    The covariance matrix is estimated from Gibbs samples of the original
+    factor graph and zeroed outside [NZ], the set of variable pairs that
+    co-occur in some factor — the inverse covariance can only be non-zero
+    there for a graphical model with that structure. *)
+
+module Graph = Dd_fgraph.Graph
+module Matrix = Dd_linalg.Matrix
+
+val nonzero_pairs : Graph.t -> (int * int) list
+(** Distinct pairs [(i, j)], [i < j], of variables sharing a factor. *)
+
+val means : bool array array -> int -> float array
+(** Per-variable empirical mean over the sampled worlds. *)
+
+val estimate : samples:bool array array -> nvars:int -> nz:(int * int) list -> Matrix.t
+(** Empirical covariance matrix (0/1 encoding), with off-diagonal entries
+    outside [nz] forced to zero. *)

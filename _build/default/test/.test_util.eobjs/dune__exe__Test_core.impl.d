@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dd_core Dd_datalog Dd_fgraph Dd_inference Dd_relational Dd_util Filename Fun Hashtbl List Option Result Sys

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Dd_datalog Dd_relational Gen List Option Printf QCheck QCheck_alcotest Result String Test

@@ -1,0 +1,1 @@
+test/test_ddlog.ml: Alcotest Dd_core Dd_datalog Dd_ddlog Dd_fgraph Dd_relational List Result String

@@ -1,0 +1,1 @@
+test/test_fgraph.ml: Alcotest Array Dd_fgraph Dd_util Filename Fun List Option QCheck QCheck_alcotest Sys Test

@@ -1,0 +1,1 @@
+test/test_inference.ml: Alcotest Array Dd_fgraph Dd_inference Dd_util List Option Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_kbc.ml: Alcotest Array Dd_core Dd_datalog Dd_fgraph Dd_inference Dd_kbc Dd_relational Dd_util Hashtbl List Option Result String

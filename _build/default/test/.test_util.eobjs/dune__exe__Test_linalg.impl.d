@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Dd_linalg Dd_util Format Gen List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Dd_relational Format Gen Hashtbl List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Array Dd_kbc Dd_relational Dd_text List String

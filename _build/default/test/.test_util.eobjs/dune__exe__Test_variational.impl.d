@@ -1,0 +1,1 @@
+test/test_variational.ml: Alcotest Array Dd_fgraph Dd_inference Dd_linalg Dd_util Dd_variational List

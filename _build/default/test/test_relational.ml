@@ -1,0 +1,438 @@
+(* Tests for Dd_relational: values, schemas, tuples, relations, algebra,
+   CSV ingestion and the database catalog. *)
+
+module Value = Dd_relational.Value
+module Schema = Dd_relational.Schema
+module Tuple = Dd_relational.Tuple
+module Relation = Dd_relational.Relation
+module Algebra = Dd_relational.Algebra
+module Database = Dd_relational.Database
+module Csv = Dd_relational.Csv
+
+let i = Value.int
+let s = Value.str
+let b = Value.bool
+let f = Value.float
+
+(* --- values ---------------------------------------------------------------- *)
+
+let test_value_compare_order () =
+  Alcotest.(check bool) "null smallest" true (Value.compare Value.Null (i 0) < 0);
+  Alcotest.(check bool) "ints ordered" true (Value.compare (i 1) (i 2) < 0);
+  Alcotest.(check bool) "strings ordered" true (Value.compare (s "a") (s "b") < 0);
+  Alcotest.(check int) "equal" 0 (Value.compare (s "x") (s "x"))
+
+let test_value_equal_hash_consistent () =
+  List.iter
+    (fun (a, b) ->
+      if Value.equal a b then
+        Alcotest.(check int) "equal values share hash" (Value.hash a) (Value.hash b))
+    [ (i 5, i 5); (s "x", s "x"); (Value.Null, Value.Null); (f 1.5, f 1.5) ]
+
+let test_value_conforms () =
+  Alcotest.(check bool) "int conforms" true (Value.conforms (i 3) Value.TInt);
+  Alcotest.(check bool) "mismatch" false (Value.conforms (i 3) Value.TStr);
+  Alcotest.(check bool) "null conforms all" true (Value.conforms Value.Null Value.TBool)
+
+let test_value_extractors () =
+  Alcotest.(check int) "as_int" 7 (Value.as_int (i 7));
+  Alcotest.(check string) "as_str" "hi" (Value.as_str (s "hi"));
+  Alcotest.(check bool) "as_bool" true (Value.as_bool (b true));
+  Alcotest.(check (float 0.0)) "as_float from int" 3.0 (Value.as_float (i 3));
+  Alcotest.check_raises "as_int on str" (Invalid_argument "Value.as_int: hi") (fun () ->
+      ignore (Value.as_int (s "hi")))
+
+let test_value_to_string () =
+  Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null);
+  Alcotest.(check string) "int" "42" (Value.to_string (i 42));
+  Alcotest.(check string) "float" "1.5" (Value.to_string (f 1.5))
+
+(* --- schemas ---------------------------------------------------------------- *)
+
+let ab_schema = Schema.make [ ("a", Value.TInt); ("b", Value.TStr) ]
+
+let test_schema_basics () =
+  Alcotest.(check int) "arity" 2 (Schema.arity ab_schema);
+  Alcotest.(check int) "index" 1 (Schema.column_index ab_schema "b");
+  Alcotest.(check bool) "mem" true (Schema.mem ab_schema "a");
+  Alcotest.(check bool) "not mem" false (Schema.mem ab_schema "z");
+  Alcotest.(check (list string)) "names" [ "a"; "b" ] (Schema.names ab_schema)
+
+let test_schema_duplicate_rejected () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Schema.make: duplicate column a")
+    (fun () -> ignore (Schema.make [ ("a", Value.TInt); ("a", Value.TStr) ]))
+
+let test_schema_conforms () =
+  Alcotest.(check bool) "good" true (Schema.conforms ab_schema [| i 1; s "x" |]);
+  Alcotest.(check bool) "wrong arity" false (Schema.conforms ab_schema [| i 1 |]);
+  Alcotest.(check bool) "wrong type" false (Schema.conforms ab_schema [| s "x"; s "y" |]);
+  Alcotest.(check bool) "null ok" true (Schema.conforms ab_schema [| Value.Null; s "y" |])
+
+let test_schema_project_concat_rename () =
+  let p = Schema.project ab_schema [ "b" ] in
+  Alcotest.(check (list string)) "projected" [ "b" ] (Schema.names p);
+  let c = Schema.concat ab_schema (Schema.make [ ("c", Value.TBool) ]) in
+  Alcotest.(check int) "concat arity" 3 (Schema.arity c);
+  let r = Schema.rename ab_schema [ ("a", "x") ] in
+  Alcotest.(check (list string)) "renamed" [ "x"; "b" ] (Schema.names r)
+
+(* --- tuples ----------------------------------------------------------------- *)
+
+let test_tuple_equality_hash () =
+  let t1 = [| i 1; s "x" |] and t2 = [| i 1; s "x" |] in
+  Alcotest.(check bool) "equal" true (Tuple.equal t1 t2);
+  Alcotest.(check int) "hash" (Tuple.hash t1) (Tuple.hash t2);
+  Alcotest.(check bool) "not equal" false (Tuple.equal t1 [| i 2; s "x" |])
+
+let test_tuple_compare_lexicographic () =
+  Alcotest.(check bool) "lex" true (Tuple.compare [| i 1; i 9 |] [| i 2; i 0 |] < 0);
+  Alcotest.(check bool) "prefix smaller" true (Tuple.compare [| i 1 |] [| i 1; i 0 |] < 0)
+
+let test_tuple_project_concat () =
+  let t = [| i 1; s "x"; b true |] in
+  Alcotest.(check bool) "project" true
+    (Tuple.equal [| b true; i 1 |] (Tuple.project t [| 2; 0 |]));
+  Alcotest.(check bool) "concat" true
+    (Tuple.equal [| i 1; i 2 |] (Tuple.concat [| i 1 |] [| i 2 |]))
+
+(* --- relations -------------------------------------------------------------- *)
+
+let make_rel rows =
+  let r = Relation.create ~name:"t" ab_schema in
+  List.iter (fun row -> Relation.insert r row) rows;
+  r
+
+let test_relation_insert_count () =
+  let r = make_rel [ [| i 1; s "x" |] ] in
+  Alcotest.(check int) "card" 1 (Relation.cardinality r);
+  Relation.insert ~count:3 r [| i 1; s "x" |];
+  Alcotest.(check int) "card stable" 1 (Relation.cardinality r);
+  Alcotest.(check int) "count" 4 (Relation.count r [| i 1; s "x" |]);
+  Alcotest.(check int) "total" 4 (Relation.total_count r)
+
+let test_relation_remove_semantics () =
+  let r = make_rel [] in
+  Relation.insert ~count:3 r [| i 1; s "x" |];
+  Alcotest.(check int) "removed 2" 2 (Relation.remove ~count:2 r [| i 1; s "x" |]);
+  Alcotest.(check bool) "still present" true (Relation.mem r [| i 1; s "x" |]);
+  Alcotest.(check int) "removed last" 1 (Relation.remove ~count:5 r [| i 1; s "x" |]);
+  Alcotest.(check bool) "gone" false (Relation.mem r [| i 1; s "x" |]);
+  Alcotest.(check int) "remove absent" 0 (Relation.remove r [| i 9; s "z" |])
+
+let test_relation_schema_enforced () =
+  let r = make_rel [] in
+  Alcotest.(check bool) "bad tuple raises" true
+    (match Relation.insert r [| s "wrong"; s "type" |] with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_relation_delete_clear () =
+  let r = make_rel [ [| i 1; s "x" |]; [| i 2; s "y" |] ] in
+  Relation.delete_all r [| i 1; s "x" |];
+  Alcotest.(check int) "one left" 1 (Relation.cardinality r);
+  Relation.clear r;
+  Alcotest.(check int) "empty" 0 (Relation.cardinality r)
+
+let test_relation_copy_independent () =
+  let r = make_rel [ [| i 1; s "x" |] ] in
+  let c = Relation.copy r in
+  Relation.insert c [| i 2; s "y" |];
+  Alcotest.(check int) "copy grew" 2 (Relation.cardinality c);
+  Alcotest.(check int) "original unchanged" 1 (Relation.cardinality r)
+
+let test_relation_equal () =
+  let r1 = make_rel [ [| i 1; s "x" |] ] and r2 = make_rel [ [| i 1; s "x" |] ] in
+  Alcotest.(check bool) "contents equal" true (Relation.equal_contents r1 r2);
+  Relation.insert r2 [| i 1; s "x" |];
+  Alcotest.(check bool) "counts differ" false (Relation.equal_contents r1 r2);
+  Alcotest.(check bool) "sets equal" true (Relation.equal_sets r1 r2)
+
+let test_relation_filter () =
+  let r = make_rel [ [| i 1; s "x" |]; [| i 2; s "y" |]; [| i 3; s "x" |] ] in
+  let only_x = Relation.filter (fun t -> Value.equal t.(1) (s "x")) r in
+  Alcotest.(check int) "filtered" 2 (Relation.cardinality only_x)
+
+let test_relation_build_index () =
+  let r = make_rel [ [| i 1; s "x" |]; [| i 2; s "x" |]; [| i 3; s "y" |] ] in
+  let index = Relation.build_index r [| 1 |] in
+  Alcotest.(check int) "x bucket" 2 (List.length (Hashtbl.find index [| s "x" |]));
+  Alcotest.(check int) "y bucket" 1 (List.length (Hashtbl.find index [| s "y" |]))
+
+let test_relation_get_index_maintained () =
+  (* The cached index must track subsequent inserts and removes. *)
+  let r = make_rel [ [| i 1; s "x" |] ] in
+  let index = Relation.get_index r [| 1 |] in
+  Alcotest.(check int) "initial" 1 (List.length (Hashtbl.find index [| s "x" |]));
+  Relation.insert r [| i 2; s "x" |];
+  Alcotest.(check int) "after insert" 2 (List.length (Hashtbl.find index [| s "x" |]));
+  ignore (Relation.remove r [| i 1; s "x" |]);
+  Alcotest.(check int) "after remove" 1 (List.length (Hashtbl.find index [| s "x" |]));
+  (* Count-only changes must not duplicate index entries. *)
+  Relation.insert ~count:5 r [| i 2; s "x" |];
+  Alcotest.(check int) "count change" 1 (List.length (Hashtbl.find index [| s "x" |]));
+  (* The same columns yield the same cached table. *)
+  Alcotest.(check bool) "cached" true (Relation.get_index r [| 1 |] == index)
+
+let test_relation_get_index_cleared () =
+  let r = make_rel [ [| i 1; s "x" |] ] in
+  ignore (Relation.get_index r [| 1 |]);
+  Relation.clear r;
+  Relation.insert r [| i 9; s "z" |];
+  let fresh = Relation.get_index r [| 1 |] in
+  Alcotest.(check bool) "has z" true (Hashtbl.mem fresh [| s "z" |]);
+  Alcotest.(check bool) "no x" false (Hashtbl.mem fresh [| s "x" |])
+
+(* --- algebra ---------------------------------------------------------------- *)
+
+let people () =
+  let schema = Schema.make [ ("id", Value.TInt); ("city", Value.TStr) ] in
+  Relation.of_list ~name:"people" schema
+    [ [| i 1; s "sf" |]; [| i 2; s "nyc" |]; [| i 3; s "sf" |] ]
+
+let test_select () =
+  let r = Algebra.select_eq (people ()) "city" (s "sf") in
+  Alcotest.(check int) "two in sf" 2 (Relation.cardinality r)
+
+let test_project_merges_counts () =
+  let r = Algebra.project (people ()) [ "city" ] in
+  Alcotest.(check int) "two cities" 2 (Relation.cardinality r);
+  Alcotest.(check int) "sf count merged" 2 (Relation.count r [| s "sf" |])
+
+let test_rename () =
+  let r = Algebra.rename (people ()) [ ("city", "town") ] in
+  Alcotest.(check (list string)) "renamed" [ "id"; "town" ] (Schema.names (Relation.schema r))
+
+let test_product () =
+  let small = Relation.of_list (Schema.make [ ("x", Value.TInt) ]) [ [| i 1 |]; [| i 2 |] ] in
+  let r = Algebra.product (people ()) small in
+  Alcotest.(check int) "3 x 2" 6 (Relation.cardinality r)
+
+let test_natural_join () =
+  let cities =
+    Relation.of_list ~name:"cities"
+      (Schema.make [ ("city", Value.TStr); ("state", Value.TStr) ])
+      [ [| s "sf"; s "ca" |]; [| s "nyc"; s "ny" |] ]
+  in
+  let joined = Algebra.natural_join (people ()) cities in
+  Alcotest.(check int) "all match" 3 (Relation.cardinality joined);
+  Alcotest.(check int) "3 columns" 3 (Schema.arity (Relation.schema joined))
+
+let test_natural_join_no_shared_is_product () =
+  let other = Relation.of_list (Schema.make [ ("z", Value.TInt) ]) [ [| i 9 |] ] in
+  let joined = Algebra.natural_join (people ()) other in
+  Alcotest.(check int) "product" 3 (Relation.cardinality joined)
+
+let test_equi_join_disambiguates () =
+  let other =
+    Relation.of_list ~name:"other"
+      (Schema.make [ ("id", Value.TInt); ("score", Value.TInt) ])
+      [ [| i 1; i 100 |] ]
+  in
+  let joined = Algebra.equi_join (people ()) other [ ("id", "id") ] in
+  Alcotest.(check int) "one match" 1 (Relation.cardinality joined);
+  Alcotest.(check bool) "prefixed col" true (Schema.mem (Relation.schema joined) "other.id")
+
+let test_union_difference_intersect () =
+  let a = people () in
+  let b =
+    Relation.of_list
+      (Schema.make [ ("id", Value.TInt); ("city", Value.TStr) ])
+      [ [| i 1; s "sf" |]; [| i 9; s "la" |] ]
+  in
+  Alcotest.(check int) "union distinct" 4 (Relation.cardinality (Algebra.union a b));
+  Alcotest.(check int) "union counts add" 2
+    (Relation.count (Algebra.union a b) [| i 1; s "sf" |]);
+  Alcotest.(check int) "difference" 2 (Relation.cardinality (Algebra.difference a b));
+  Alcotest.(check int) "intersect" 1 (Relation.cardinality (Algebra.intersect a b))
+
+let test_distinct () =
+  let r = make_rel [] in
+  Relation.insert ~count:5 r [| i 1; s "x" |];
+  let d = Algebra.distinct r in
+  Alcotest.(check int) "count reset" 1 (Relation.count d [| i 1; s "x" |])
+
+let test_aggregate_count_group () =
+  let agg = Algebra.aggregate (people ()) ~group_by:[ "city" ] Algebra.Count ~output:"n" in
+  Alcotest.(check int) "two groups" 2 (Relation.cardinality agg);
+  Alcotest.(check bool) "sf has 2" true (Relation.mem agg [| s "sf"; i 2 |])
+
+let test_aggregate_sum_min_max_avg () =
+  let schema = Schema.make [ ("g", Value.TStr); ("v", Value.TInt) ] in
+  let r = Relation.of_list schema [ [| s "a"; i 1 |]; [| s "a"; i 3 |]; [| s "b"; i 10 |] ] in
+  let sum = Algebra.aggregate r ~group_by:[ "g" ] (Algebra.Sum "v") ~output:"s" in
+  Alcotest.(check bool) "sum a" true (Relation.mem sum [| s "a"; i 4 |]);
+  let mn = Algebra.aggregate r ~group_by:[ "g" ] (Algebra.Min "v") ~output:"m" in
+  Alcotest.(check bool) "min a" true (Relation.mem mn [| s "a"; i 1 |]);
+  let mx = Algebra.aggregate r ~group_by:[ "g" ] (Algebra.Max "v") ~output:"m" in
+  Alcotest.(check bool) "max a" true (Relation.mem mx [| s "a"; i 3 |]);
+  let avg = Algebra.aggregate r ~group_by:[ "g" ] (Algebra.Avg "v") ~output:"m" in
+  Alcotest.(check bool) "avg a" true (Relation.mem avg [| s "a"; f 2.0 |])
+
+let test_aggregate_global () =
+  let agg = Algebra.aggregate (people ()) ~group_by:[] Algebra.Count ~output:"n" in
+  Alcotest.(check bool) "global count" true (Relation.mem agg [| i 3 |])
+
+let test_map_rows () =
+  let out_schema = Schema.make [ ("id2", Value.TInt) ] in
+  let r = Algebra.map_rows (people ()) out_schema (fun t -> [| i (Value.as_int t.(0) * 2) |]) in
+  Alcotest.(check bool) "doubled" true (Relation.mem r [| i 4 |])
+
+let test_flat_map_rows () =
+  let out_schema = Schema.make [ ("tok", Value.TStr) ] in
+  let r =
+    Algebra.flat_map_rows (people ()) out_schema (fun t ->
+        [ [| t.(1) |]; [| s (Value.as_str t.(1) ^ "!") |] ])
+  in
+  Alcotest.(check bool) "exploded" true (Relation.mem r [| s "sf!" |]);
+  Alcotest.(check int) "distinct" 4 (Relation.cardinality r)
+
+(* --- csv ------------------------------------------------------------------- *)
+
+let test_csv_parse_values () =
+  Alcotest.(check bool) "int" true (Value.equal (i 42) (Csv.parse_value Value.TInt "42"));
+  Alcotest.(check bool) "bool" true (Value.equal (b true) (Csv.parse_value Value.TBool "true"));
+  Alcotest.(check bool) "empty is null" true
+    (Value.equal Value.Null (Csv.parse_value Value.TStr ""));
+  Alcotest.(check bool) "bad int raises" true
+    (match Csv.parse_value Value.TInt "xy" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_csv_load () =
+  let r = Relation.create ab_schema in
+  let n = Csv.load_string r "a,b\n1,x\n2,y\n\n3,z" in
+  Alcotest.(check int) "rows loaded (header skipped)" 3 n;
+  Alcotest.(check bool) "row present" true (Relation.mem r [| i 2; s "y" |])
+
+let test_csv_wrong_arity () =
+  let r = Relation.create ab_schema in
+  Alcotest.(check bool) "arity error" true
+    (match Csv.load_string r "1,x,extra" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- database --------------------------------------------------------------- *)
+
+let test_database_catalog () =
+  let db = Database.create () in
+  let r = Database.create_table db "t" ab_schema in
+  Relation.insert r [| i 1; s "x" |];
+  Alcotest.(check bool) "mem" true (Database.mem db "t");
+  Alcotest.(check int) "find" 1 (Relation.cardinality (Database.find db "t"));
+  Alcotest.(check (list string)) "names" [ "t" ] (Database.table_names db);
+  Alcotest.(check bool) "duplicate rejected" true
+    (match Database.create_table db "t" ab_schema with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Database.drop_table db "t";
+  Alcotest.(check bool) "dropped" false (Database.mem db "t")
+
+let test_database_deep_copy () =
+  let db = Database.create () in
+  let r = Database.create_table db "t" ab_schema in
+  Relation.insert r [| i 1; s "x" |];
+  let dup = Database.copy db in
+  Relation.insert (Database.find dup "t") [| i 2; s "y" |];
+  Alcotest.(check int) "copy grew" 2 (Relation.cardinality (Database.find dup "t"));
+  Alcotest.(check int) "original unchanged" 1 (Relation.cardinality (Database.find db "t"))
+
+(* --- qcheck properties ------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  let tuple_gen =
+    Gen.map (fun (a, b) -> [| i a; s (string_of_int b) |]) Gen.(pair (0 -- 20) (0 -- 5))
+  in
+  let rel_gen =
+    Gen.map
+      (fun rows ->
+        let r = Relation.create ab_schema in
+        List.iter (fun row -> Relation.insert r row) rows;
+        r)
+      (Gen.list_size Gen.(0 -- 30) tuple_gen)
+  in
+  let arb_rel = make ~print:(fun r -> Format.asprintf "%a" Relation.pp r) rel_gen in
+  [
+    Test.make ~name:"distinct idempotent" ~count:100 arb_rel (fun r ->
+        let d = Algebra.distinct r in
+        Relation.equal_contents d (Algebra.distinct d));
+    Test.make ~name:"union cardinality bounds" ~count:100 (pair arb_rel arb_rel)
+      (fun (a, b) ->
+        let u = Relation.cardinality (Algebra.union a b) in
+        u >= max (Relation.cardinality a) (Relation.cardinality b)
+        && u <= Relation.cardinality a + Relation.cardinality b);
+    Test.make ~name:"difference then intersect empty" ~count:100 (pair arb_rel arb_rel)
+      (fun (a, b) -> Relation.cardinality (Algebra.intersect (Algebra.difference a b) b) = 0);
+    Test.make ~name:"natural self join keeps tuples" ~count:100 arb_rel (fun r ->
+        Relation.equal_sets (Algebra.distinct (Algebra.natural_join r r)) (Algebra.distinct r));
+    Test.make ~name:"project to all columns preserves" ~count:100 arb_rel (fun r ->
+        Relation.equal_sets (Algebra.project r [ "a"; "b" ]) r);
+  ]
+
+let () =
+  Alcotest.run "dd_relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare order" `Quick test_value_compare_order;
+          Alcotest.test_case "equal/hash" `Quick test_value_equal_hash_consistent;
+          Alcotest.test_case "conforms" `Quick test_value_conforms;
+          Alcotest.test_case "extractors" `Quick test_value_extractors;
+          Alcotest.test_case "to_string" `Quick test_value_to_string;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basics" `Quick test_schema_basics;
+          Alcotest.test_case "duplicates" `Quick test_schema_duplicate_rejected;
+          Alcotest.test_case "conforms" `Quick test_schema_conforms;
+          Alcotest.test_case "project/concat/rename" `Quick test_schema_project_concat_rename;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "equality/hash" `Quick test_tuple_equality_hash;
+          Alcotest.test_case "compare" `Quick test_tuple_compare_lexicographic;
+          Alcotest.test_case "project/concat" `Quick test_tuple_project_concat;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "insert/count" `Quick test_relation_insert_count;
+          Alcotest.test_case "remove" `Quick test_relation_remove_semantics;
+          Alcotest.test_case "schema enforced" `Quick test_relation_schema_enforced;
+          Alcotest.test_case "delete/clear" `Quick test_relation_delete_clear;
+          Alcotest.test_case "copy" `Quick test_relation_copy_independent;
+          Alcotest.test_case "equality" `Quick test_relation_equal;
+          Alcotest.test_case "filter" `Quick test_relation_filter;
+          Alcotest.test_case "build_index" `Quick test_relation_build_index;
+          Alcotest.test_case "get_index maintained" `Quick test_relation_get_index_maintained;
+          Alcotest.test_case "get_index after clear" `Quick test_relation_get_index_cleared;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "project" `Quick test_project_merges_counts;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "natural join" `Quick test_natural_join;
+          Alcotest.test_case "join no shared cols" `Quick test_natural_join_no_shared_is_product;
+          Alcotest.test_case "equi join" `Quick test_equi_join_disambiguates;
+          Alcotest.test_case "union/difference/intersect" `Quick test_union_difference_intersect;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "aggregate count" `Quick test_aggregate_count_group;
+          Alcotest.test_case "aggregate sum/min/max/avg" `Quick test_aggregate_sum_min_max_avg;
+          Alcotest.test_case "aggregate global" `Quick test_aggregate_global;
+          Alcotest.test_case "map rows" `Quick test_map_rows;
+          Alcotest.test_case "flat map rows" `Quick test_flat_map_rows;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "parse values" `Quick test_csv_parse_values;
+          Alcotest.test_case "load with header" `Quick test_csv_load;
+          Alcotest.test_case "wrong arity" `Quick test_csv_wrong_arity;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "catalog" `Quick test_database_catalog;
+          Alcotest.test_case "deep copy" `Quick test_database_deep_copy;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

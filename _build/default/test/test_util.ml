@@ -1,0 +1,407 @@
+(* Tests for Dd_util: PRNG, statistics, union-find, tables. *)
+
+module Prng = Dd_util.Prng
+module Stats = Dd_util.Stats
+module Union_find = Dd_util.Union_find
+module Table = Dd_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close epsilon = Alcotest.(check (float epsilon))
+
+(* --- prng ------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_int_below_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int_below rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_below_covers () =
+  let rng = Prng.create 8 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 2_000 do
+    seen.(Prng.int_below rng 10) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all (fun b -> b) seen)
+
+let test_int_below_roughly_uniform () =
+  let rng = Prng.create 9 in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let v = Prng.int_below rng 4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "within 2% of uniform" true (abs_float (frac -. 0.25) < 0.02))
+    counts
+
+let test_float_unit_range () =
+  let rng = Prng.create 10 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float_unit rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_float_range () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 1_000 do
+    let v = Prng.float_range rng (-2.0) 3.0 in
+    Alcotest.(check bool) "in [-2,3)" true (v >= -2.0 && v < 3.0)
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Prng.create 12 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never true" false (Prng.bernoulli rng 0.0);
+    Alcotest.(check bool) "p=1 always true" true (Prng.bernoulli rng 1.0)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Prng.create 13 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (abs_float (rate -. 0.3) < 0.01)
+
+let test_gaussian_moments () =
+  let rng = Prng.create 14 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Prng.gaussian rng) in
+  Alcotest.(check bool) "mean near 0" true (abs_float (Stats.mean xs) < 0.02);
+  Alcotest.(check bool) "variance near 1" true (abs_float (Stats.variance xs -. 1.0) < 0.05)
+
+let test_exponential_mean () =
+  let rng = Prng.create 15 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Prng.exponential rng 2.0) in
+  Alcotest.(check bool) "mean near 1/rate" true (abs_float (Stats.mean xs -. 0.5) < 0.02);
+  Array.iter (fun x -> Alcotest.(check bool) "positive" true (x >= 0.0)) xs
+
+let test_split_independence () =
+  let rng = Prng.create 16 in
+  let child = Prng.split rng in
+  let a = Array.init 32 (fun _ -> Prng.bits64 rng) in
+  let b = Array.init 32 (fun _ -> Prng.bits64 child) in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let test_copy_independent () =
+  let rng = Prng.create 17 in
+  let dup = Prng.copy rng in
+  let a = Prng.bits64 rng in
+  let b = Prng.bits64 dup in
+  Alcotest.(check int64) "copy continues same stream" a b
+
+let test_shuffle_permutation () =
+  let rng = Prng.create 18 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_choice_member () =
+  let rng = Prng.create 19 in
+  let a = [| 3; 5; 9 |] in
+  for _ = 1 to 100 do
+    let v = Prng.choice rng a in
+    Alcotest.(check bool) "member" true (Array.mem v a)
+  done
+
+let test_sample_without_replacement () =
+  let rng = Prng.create 20 in
+  for _ = 1 to 50 do
+    let sample = Prng.sample_without_replacement rng 5 12 in
+    Alcotest.(check int) "size" 5 (Array.length sample);
+    let distinct = List.sort_uniq compare (Array.to_list sample) in
+    Alcotest.(check int) "distinct" 5 (List.length distinct);
+    Array.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 12)) sample
+  done
+
+let test_sample_full_range () =
+  let rng = Prng.create 21 in
+  let sample = Prng.sample_without_replacement rng 7 7 in
+  let sorted = Array.copy sample in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "whole range" (Array.init 7 (fun i -> i)) sorted
+
+(* --- stats ------------------------------------------------------------ *)
+
+let test_mean_known () = check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_mean_empty () = check_float "empty mean" 0.0 (Stats.mean [||])
+
+let test_variance_known () =
+  check_float "variance" 1.25 (Stats.variance [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_variance_constant () = check_float "constant" 0.0 (Stats.variance [| 5.0; 5.0; 5.0 |])
+
+let test_stddev () = check_float "stddev" 2.0 (Stats.stddev [| 0.0; 4.0; 0.0; 4.0 |])
+
+let test_covariance () =
+  (* Perfectly correlated: cov = var. *)
+  let xs = [| 1.0; 2.0; 3.0 |] in
+  check_float "cov(x,x) = var" (Stats.variance xs) (Stats.covariance xs xs);
+  check_float "anti-correlated" (-.Stats.variance xs)
+    (Stats.covariance xs [| 3.0; 2.0; 1.0 |])
+
+let test_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_float "min" 10.0 (Stats.percentile xs 0.0);
+  check_float "max" 40.0 (Stats.percentile xs 1.0);
+  check_float "median" 25.0 (Stats.percentile xs 0.5)
+
+let test_sigmoid () =
+  check_float "sigmoid 0" 0.5 (Stats.sigmoid 0.0);
+  check_close 1e-6 "sigmoid large" 1.0 (Stats.sigmoid 50.0);
+  check_close 1e-6 "sigmoid -large" 0.0 (Stats.sigmoid (-50.0));
+  (* No overflow at extremes. *)
+  Alcotest.(check bool) "finite" true (Float.is_finite (Stats.sigmoid (-1000.0)))
+
+let test_logit_inverse () =
+  List.iter
+    (fun p -> check_close 1e-9 "logit inverse" p (Stats.sigmoid (Stats.logit p)))
+    [ 0.01; 0.3; 0.5; 0.77; 0.99 ]
+
+let test_log_sum_exp () =
+  check_close 1e-9 "pair" (log (exp 1.0 +. exp 2.0)) (Stats.log_sum_exp [| 1.0; 2.0 |]);
+  check_float "empty" neg_infinity (Stats.log_sum_exp [||]);
+  (* Stability: would overflow naively. *)
+  check_close 1e-6 "huge" (1000.0 +. log 2.0) (Stats.log_sum_exp [| 1000.0; 1000.0 |])
+
+let test_kl_bernoulli () =
+  check_close 1e-9 "identical" 0.0 (Stats.kl_bernoulli 0.3 0.3);
+  Alcotest.(check bool) "positive" true (Stats.kl_bernoulli 0.2 0.8 > 0.0)
+
+let test_clamp () =
+  check_float "below" 0.0 (Stats.clamp 0.0 1.0 (-5.0));
+  check_float "above" 1.0 (Stats.clamp 0.0 1.0 7.0);
+  check_float "inside" 0.5 (Stats.clamp 0.0 1.0 0.5)
+
+let test_fsum_precision () =
+  (* Adding many tiny values to a large one: naive summation loses them. *)
+  let xs = Array.make 10_001 1e-8 in
+  xs.(0) <- 1.0;
+  check_close 1e-12 "kahan" (1.0 +. 1e-4) (Stats.fsum xs)
+
+let test_dot () = check_float "dot" 32.0 (Stats.dot [| 1.0; 2.0; 3.0 |] [| 4.0; 5.0; 6.0 |])
+
+let test_l2 () = check_float "l2" 5.0 (Stats.l2_distance [| 0.0; 0.0 |] [| 3.0; 4.0 |])
+
+let test_max_abs_diff () =
+  check_float "max diff" 3.0 (Stats.max_abs_diff [| 1.0; 5.0 |] [| 2.0; 2.0 |])
+
+(* --- union-find --------------------------------------------------------- *)
+
+let test_uf_singletons () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "five sets" 5 (Union_find.count uf);
+  Alcotest.(check bool) "disjoint" false (Union_find.same uf 0 1)
+
+let test_uf_union () =
+  let uf = Union_find.create 5 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 2;
+  Alcotest.(check bool) "transitive" true (Union_find.same uf 0 2);
+  Alcotest.(check bool) "separate" false (Union_find.same uf 0 3);
+  Alcotest.(check int) "three sets" 3 (Union_find.count uf)
+
+let test_uf_groups () =
+  let uf = Union_find.create 6 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 2 3;
+  Union_find.union uf 3 4;
+  let groups = Union_find.groups uf in
+  let sizes =
+    Hashtbl.fold (fun _ members acc -> List.length members :: acc) groups []
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "group sizes" [ 1; 2; 3 ] sizes
+
+let test_uf_idempotent_union () =
+  let uf = Union_find.create 3 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 0 1;
+  Alcotest.(check int) "count stable" 2 (Union_find.count uf)
+
+(* --- bitvec --------------------------------------------------------------- *)
+
+module Bitvec = Dd_util.Bitvec
+
+let test_bitvec_get_set () =
+  let v = Bitvec.create 20 in
+  Alcotest.(check bool) "starts false" false (Bitvec.get v 13);
+  Bitvec.set v 13 true;
+  Alcotest.(check bool) "set" true (Bitvec.get v 13);
+  Alcotest.(check bool) "neighbors untouched" false (Bitvec.get v 12 || Bitvec.get v 14);
+  Bitvec.set v 13 false;
+  Alcotest.(check bool) "cleared" false (Bitvec.get v 13)
+
+let test_bitvec_roundtrip () =
+  let a = Array.init 37 (fun i -> i mod 3 = 0) in
+  Alcotest.(check bool) "roundtrip" true (Bitvec.to_bool_array (Bitvec.of_bool_array a) = a)
+
+let test_bitvec_byte_size () =
+  Alcotest.(check int) "8 bits, 1 byte" 1 (Bitvec.byte_size (Bitvec.create 8));
+  Alcotest.(check int) "9 bits, 2 bytes" 2 (Bitvec.byte_size (Bitvec.create 9));
+  Alcotest.(check int) "0 bits" 0 (Bitvec.byte_size (Bitvec.create 0))
+
+let test_bitvec_pop_count_equal_copy () =
+  let v = Bitvec.of_bool_array [| true; false; true; true |] in
+  Alcotest.(check int) "popcount" 3 (Bitvec.pop_count v);
+  let c = Bitvec.copy v in
+  Alcotest.(check bool) "equal" true (Bitvec.equal v c);
+  Bitvec.set c 1 true;
+  Alcotest.(check bool) "independent" false (Bitvec.equal v c)
+
+let test_bitvec_bounds () =
+  let v = Bitvec.create 4 in
+  Alcotest.(check bool) "oob rejected" true
+    (match Bitvec.get v 4 with _ -> false | exception Invalid_argument _ -> true)
+
+(* --- table -------------------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "four lines" 4 (List.length lines);
+  (* All lines equal width after trimming trailing spaces differences. *)
+  Alcotest.(check bool) "header first" true
+    (String.length (List.nth lines 0) > 0 && String.get (List.nth lines 1) 0 = '-')
+
+let test_table_pads_short_rows () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "only" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "renders" true (String.length rendered > 0)
+
+let test_cell_formats () =
+  Alcotest.(check string) "zero" "0" (Table.cell_f 0.0);
+  Alcotest.(check string) "speedup" "2.5x" (Table.cell_x 2.5);
+  Alcotest.(check bool) "tiny scientific" true
+    (String.contains (Table.cell_f 1e-6) 'e')
+
+(* --- qcheck properties ---------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"sigmoid in (0,1)" ~count:500 (float_bound_inclusive 700.0) (fun x ->
+        let s = Stats.sigmoid x in
+        s >= 0.0 && s <= 1.0);
+    Test.make ~name:"logit-sigmoid roundtrip" ~count:500 (float_range 0.001 0.999) (fun p ->
+        abs_float (Stats.sigmoid (Stats.logit p) -. p) < 1e-9);
+    Test.make ~name:"log_sum_exp shift invariant" ~count:200
+      (pair (list_of_size Gen.(1 -- 10) (float_range (-10.0) 10.0)) (float_range (-5.0) 5.0))
+      (fun (xs, shift) ->
+        let xs = Array.of_list xs in
+        let shifted = Array.map (fun x -> x +. shift) xs in
+        abs_float (Stats.log_sum_exp shifted -. (Stats.log_sum_exp xs +. shift)) < 1e-9);
+    Test.make ~name:"percentile within range" ~count:200
+      (pair (list_of_size Gen.(1 -- 20) (float_range (-100.0) 100.0)) (float_range 0.0 1.0))
+      (fun (xs, p) ->
+        let xs = Array.of_list xs in
+        let v = Stats.percentile xs p in
+        let lo = Array.fold_left min infinity xs and hi = Array.fold_left max neg_infinity xs in
+        v >= lo -. 1e-9 && v <= hi +. 1e-9);
+    Test.make ~name:"clamp idempotent" ~count:200
+      (triple (float_range (-10.0) 0.0) (float_range 0.0 10.0) (float_range (-20.0) 20.0))
+      (fun (lo, hi, x) ->
+        let once = Stats.clamp lo hi x in
+        Stats.clamp lo hi once = once);
+    Test.make ~name:"prng int_below always in range" ~count:500
+      (pair small_int (int_range 1 1000))
+      (fun (seed, n) ->
+        let rng = Prng.create seed in
+        let v = Prng.int_below rng n in
+        v >= 0 && v < n);
+  ]
+
+let () =
+  Alcotest.run "dd_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int_below bounds" `Quick test_int_below_bounds;
+          Alcotest.test_case "int_below covers" `Quick test_int_below_covers;
+          Alcotest.test_case "int_below uniform" `Quick test_int_below_roughly_uniform;
+          Alcotest.test_case "float_unit range" `Quick test_float_unit_range;
+          Alcotest.test_case "float_range" `Quick test_float_range;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "choice member" `Quick test_choice_member;
+          Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "sample full range" `Quick test_sample_full_range;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean_known;
+          Alcotest.test_case "mean empty" `Quick test_mean_empty;
+          Alcotest.test_case "variance" `Quick test_variance_known;
+          Alcotest.test_case "variance constant" `Quick test_variance_constant;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "covariance" `Quick test_covariance;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "sigmoid" `Quick test_sigmoid;
+          Alcotest.test_case "logit inverse" `Quick test_logit_inverse;
+          Alcotest.test_case "log_sum_exp" `Quick test_log_sum_exp;
+          Alcotest.test_case "kl bernoulli" `Quick test_kl_bernoulli;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "fsum precision" `Quick test_fsum_precision;
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "l2" `Quick test_l2;
+          Alcotest.test_case "max_abs_diff" `Quick test_max_abs_diff;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "singletons" `Quick test_uf_singletons;
+          Alcotest.test_case "union" `Quick test_uf_union;
+          Alcotest.test_case "groups" `Quick test_uf_groups;
+          Alcotest.test_case "idempotent" `Quick test_uf_idempotent_union;
+        ] );
+      ( "bitvec",
+        [
+          Alcotest.test_case "get/set" `Quick test_bitvec_get_set;
+          Alcotest.test_case "roundtrip" `Quick test_bitvec_roundtrip;
+          Alcotest.test_case "byte size" `Quick test_bitvec_byte_size;
+          Alcotest.test_case "popcount/equal/copy" `Quick test_bitvec_pop_count_equal_copy;
+          Alcotest.test_case "bounds" `Quick test_bitvec_bounds;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "cell formats" `Quick test_cell_formats;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
