@@ -1,0 +1,18 @@
+.PHONY: all build test verify bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+verify:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

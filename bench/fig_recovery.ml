@@ -1,0 +1,79 @@
+(* Crash–recover–compare over the Fig-KBC pipeline: for every fault point
+   the pipeline exercises, kill a checkpointed run mid-update, recover
+   from the store (last checkpoint + WAL replay), finish the remaining
+   snapshots, and compare final marginals against an uninterrupted run
+   with the same seed.  The determinism claim makes the expected numbers
+   exact — Jaccard 1.0 and zero marginal difference — and the recovery
+   time column shows what the checkpoint buys over redoing the run. *)
+
+open Harness
+module Corpus = Dd_kbc.Corpus
+module Systems = Dd_kbc.Systems
+module Quality = Dd_kbc.Quality
+module Recovery = Dd_kbc.Recovery
+module Engine = Dd_core.Engine
+module Timer = Dd_util.Timer
+module Table = Dd_util.Table
+
+let bench_options =
+  {
+    Engine.default_options with
+    Engine.materialization_samples = 400;
+    inference_chain = 150;
+    initial_learning_epochs = 30;
+    incremental_learning_epochs = 8;
+  }
+
+let scratch_dir () = Filename.concat (Filename.get_temp_dir_name ()) "dd_bench_recovery"
+
+let recovery ~full =
+  section "Recovery: crash injection over the KBC snapshot sequence";
+  note
+    "Each row arms one fault point mid-run (Nth = half its hit count),\n\
+     treats the escaping injection as a process death, recovers from the\n\
+     checkpoint store and finishes the run.  'replayed' counts updates\n\
+     already durable at recovery; agreement compares final marginals to\n\
+     the uninterrupted baseline (expected exact: the checkpoint carries\n\
+     the engine PRNG, so the recovered run retraces it bit for bit).";
+  let config =
+    let base = Systems.news in
+    if full then { base with Corpus.docs = base.Corpus.docs * 4 } else base
+  in
+  let corpus = Corpus.generate config in
+  let dir = scratch_dir () in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let baseline_timer = Timer.start () in
+  let base =
+    Recovery.baseline ~options:bench_options ~dir:(Filename.concat dir "baseline") corpus
+  in
+  let baseline_seconds = Timer.elapsed_s baseline_timer in
+  note "Uninterrupted run: %.2fs, %d fault points exercised.\n" baseline_seconds
+    (List.length base.Recovery.exercised);
+  let table =
+    Table.create
+      [ "fault point"; "trigger"; "replayed"; "crash+recover(s)"; "jaccard"; "maxdiff" ]
+  in
+  List.iter
+    (fun (point, hits) ->
+      let trigger = (hits / 2) + 1 in
+      let timer = Timer.start () in
+      let outcome =
+        Recovery.crash_recover_compare ~options:bench_options
+          ~dir:(Filename.concat dir "crash") ~point ~trigger
+          ~reference:base.Recovery.marginals corpus
+      in
+      let seconds = Timer.elapsed_s timer in
+      Table.add_row table
+        [
+          outcome.Recovery.point;
+          string_of_int outcome.Recovery.trigger;
+          string_of_int outcome.Recovery.replayed_to;
+          Table.cell_f seconds;
+          Table.cell_f outcome.Recovery.agreement.Quality.high_conf_jaccard;
+          Table.cell_f outcome.Recovery.agreement.Quality.max_diff;
+        ])
+    base.Recovery.exercised;
+  Table.print table;
+  Dd_util.Fault.reset ()
+
+let () = register "recovery" "Crash recovery: checkpoint + WAL replay" recovery

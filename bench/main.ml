@@ -22,6 +22,7 @@ module _ = Fig_learning
 module _ = Micro
 module _ = Ablations
 module _ = Calibration_bench
+module _ = Fig_recovery
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

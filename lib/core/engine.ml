@@ -6,6 +6,7 @@ module Learner = Dd_inference.Learner
 module Metropolis = Dd_inference.Metropolis
 module Prng = Dd_util.Prng
 module Timer = Dd_util.Timer
+module Fault = Dd_util.Fault
 
 type options = {
   materialization_samples : int;
@@ -116,6 +117,7 @@ let sample_mean_marginals mat nvars =
 
 let create ?(options = default_options) db prog =
   let grounding = Grounding.ground db prog in
+  Fault.hit "engine.create.post_ground";
   let t =
     {
       ground = grounding;
@@ -137,6 +139,7 @@ let create ?(options = default_options) db prog =
   in
   learn t ~epochs:options.initial_learning_epochs
     ~learning_rate:options.initial_learning_rate;
+  Fault.hit "engine.create.post_learn";
   materialize_now t;
   t.last_marginals <- sample_mean_marginals t.mat (Graph.num_vars (graph t));
   t
@@ -150,6 +153,10 @@ let record_extensions t (greport : Grounding.report) =
 
 let apply_update t update =
   let greport, grounding_seconds = Timer.time (fun () -> Grounding.extend t.ground update) in
+  (* Crash here = the database and graph were already mutated by grounding
+     but the marginals were not refreshed; recovery must rebuild from the
+     pre-update checkpoint and replay the logged update. *)
+  Fault.hit "engine.apply_update.post_ground";
   record_extensions t greport;
   (* Incremental learning: warmstart is implicit (weights are live). *)
   let needs_learning =
@@ -164,6 +171,7 @@ let apply_update t update =
             ~learning_rate:t.opts.incremental_learning_rate)
     else 0.0
   in
+  Fault.hit "engine.apply_update.post_learning";
   let change = Materialize.cumulative_change t.mat (graph t) ~extension_origin:t.extension_origin in
   let profile = Optimizer.profile_of_change change in
   let samples_total = Array.length t.mat.Materialize.samples in
@@ -236,6 +244,7 @@ let apply_update t update =
       in
       (Used_full_gibbs, None, m, secs)
   in
+  Fault.hit "engine.apply_update.post_inference";
   t.last_marginals <- marginals;
   {
     strategy;

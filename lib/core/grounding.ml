@@ -351,6 +351,8 @@ let extend t update =
     | Error e -> invalid_arg ("Grounding.extend: " ^ e)
   in
   phase "dred";
+  (* Crash here = base tables already mutated by DRed, graph untouched. *)
+  Dd_util.Fault.hit "grounding.extend.post_dred";
   t.prog <- new_prog;
   (* New variables and clamped deletions. *)
   let new_vars = ref [] in

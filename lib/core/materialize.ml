@@ -124,10 +124,11 @@ let fail fmt = Printf.ksprintf (fun m -> raise (Format_error m)) fmt
    (1 character per variable), the baseline snapshot, and the variational
    graph embedded in its own format when present. *)
 let save path t =
-  let out = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out out)
-    (fun () ->
+  (* Atomic publish, mirroring [Serialize.save]: an interrupted save must
+     never leave a truncated materialization at the target path. *)
+  let tmp = path ^ ".tmp" in
+  let out = open_out tmp in
+  (try
       Printf.fprintf out "ddmat 1\n";
       Printf.fprintf out "samples %d %d\n" (Array.length t.samples) t.base_var_count;
       Array.iter
@@ -152,7 +153,14 @@ let save path t =
       | Some approx ->
         Printf.fprintf out "variational 1\n";
         Dd_fgraph.Serialize.write out approx);
-      Printf.fprintf out "end\n")
+      Printf.fprintf out "end\n";
+      close_out out
+  with e ->
+    close_out_noerr out;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Dd_util.Fault.hit "materialize.save.pre_rename";
+  Sys.rename tmp path
 
 let load path =
   let ic = open_in path in

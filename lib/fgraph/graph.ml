@@ -222,6 +222,56 @@ let freeze_assignment t =
       | Evidence b -> b
       | Query -> false)
 
+(* Structural integrity check for graphs restored from disk (and a cheap
+   invariant audit elsewhere).  Everything [add_factor] enforces on entry
+   is re-checked, because a deserialized or unmarshalled graph bypassed
+   those constructors' guarantees. *)
+let validate t =
+  let error fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let nvars = num_vars t and nweights = num_weights t in
+  let check_weights () =
+    let bad = ref None in
+    for w = 0 to nweights - 1 do
+      if !bad = None then begin
+        let value = vec_get t.weights w in
+        if not (Float.is_finite value) then bad := Some (w, value)
+      end
+    done;
+    match !bad with
+    | Some (w, value) -> error "weight %d is not finite (%h)" w value
+    | None -> Ok ()
+  in
+  let check_factor i f =
+    let check_var what v =
+      if v < 0 || v >= nvars then
+        error "factor %d: %s variable %d out of range [0,%d)" i what v nvars
+      else Ok ()
+    in
+    let ( let* ) = Result.bind in
+    let* () = match f.head with Some h -> check_var "head" h | None -> Ok () in
+    let* () =
+      Array.fold_left
+        (fun acc body ->
+          Array.fold_left
+            (fun acc l ->
+              let* () = acc in
+              check_var "literal" l.var)
+            acc body)
+        (Ok ()) f.bodies
+    in
+    if f.weight_id < 0 || f.weight_id >= nweights then
+      error "factor %d: weight id %d out of range [0,%d)" i f.weight_id nweights
+    else Ok ()
+  in
+  let rec check_factors i =
+    if i >= num_factors t then Ok ()
+    else
+      match check_factor i (vec_get t.factors i) with
+      | Ok () -> check_factors (i + 1)
+      | Error _ as e -> e
+  in
+  Result.bind (check_weights ()) (fun () -> check_factors 0)
+
 let degree_stats t =
   let n = num_vars t in
   if n = 0 then (0.0, 0)

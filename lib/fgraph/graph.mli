@@ -119,3 +119,9 @@ val freeze_assignment : t -> bool array
 
 val degree_stats : t -> float * int
 (** Mean and max number of factors per variable. *)
+
+val validate : t -> (unit, string) result
+(** Structural integrity check: every factor's head and literal variables
+    in range, every [weight_id] declared, every weight finite (no NaN or
+    infinity).  Run on graphs restored from disk, where the [add_factor]
+    entry checks were bypassed. *)

@@ -1,3 +1,6 @@
+module Crc32 = Dd_util.Crc32
+module Fault = Dd_util.Fault
+
 exception Format_error of string
 
 let fail fmt = Printf.ksprintf (fun message -> raise (Format_error message)) fmt
@@ -12,8 +15,16 @@ let semantics_of_code code =
   | Some s -> s
   | None -> fail "unknown semantics %s" code
 
+(* v2 writer: identical body to v1 plus a CRC-32 footer over every byte
+   from the header through the last body line (checksum and end lines
+   excluded), so any single flipped or dropped byte is detected on load. *)
 let write_lines ~emit g =
-  emit "ddgraph 1\n";
+  let crc = ref Crc32.init in
+  let emit s =
+    crc := Crc32.update_string !crc s;
+    emit s
+  in
+  emit "ddgraph 2\n";
   emit (Printf.sprintf "vars %d\n" (Graph.num_vars g));
   List.iter
     (fun (v, value) -> emit (Printf.sprintf "evidence %d %d\n" v (if value then 1 else 0)))
@@ -43,15 +54,25 @@ let write_lines ~emit g =
       Buffer.add_char buffer '\n';
       emit (Buffer.contents buffer))
     g;
+  let digest = Crc32.finish !crc in
+  emit (Printf.sprintf "checksum %s\n" (Crc32.to_hex digest));
   emit "end\n"
 
 let read_lines next_line =
+  let crc = ref Crc32.init in
   let expect_line () =
-    match next_line () with Some l -> l | None -> fail "unexpected end of input"
+    match next_line () with
+    | Some l ->
+      crc := Crc32.update_string !crc (l ^ "\n");
+      l
+    | None -> fail "unexpected end of input"
   in
-  (match String.split_on_char ' ' (expect_line ()) with
-  | [ "ddgraph"; "1" ] -> ()
-  | _ -> fail "bad header (expected 'ddgraph 1')");
+  let version =
+    match String.split_on_char ' ' (expect_line ()) with
+    | [ "ddgraph"; "1" ] -> 1
+    | [ "ddgraph"; "2" ] -> 2
+    | _ -> fail "bad header (expected 'ddgraph 1' or 'ddgraph 2')"
+  in
   let g = Graph.create () in
   let nvars =
     match String.split_on_char ' ' (expect_line ()) with
@@ -59,14 +80,18 @@ let read_lines next_line =
       match int_of_string_opt n with Some n -> n | None -> fail "bad vars count")
     | _ -> fail "expected vars line"
   in
+  if nvars < 0 then fail "negative vars count";
   ignore (Graph.add_vars g nvars);
   let parse_factor rest =
     match rest with
     | head :: weight :: semantics :: nbodies :: tail ->
       let head = match int_of_string_opt head with Some h -> h | None -> fail "bad head" in
+      if head >= nvars then fail "factor head variable %d out of range" head;
       let weight_id =
         match int_of_string_opt weight with Some w -> w | None -> fail "bad weight id"
       in
+      if weight_id < 0 || weight_id >= Graph.num_weights g then
+        fail "factor weight id %d out of range" weight_id;
       let semantics = semantics_of_code semantics in
       let expected_bodies =
         match int_of_string_opt nbodies with Some n -> n | None -> fail "bad body count"
@@ -78,6 +103,7 @@ let read_lines next_line =
           let nlits =
             match int_of_string_opt nlits with Some n -> n | None -> fail "bad literal count"
           in
+          if nlits < 0 then fail "negative literal count";
           let lits = Array.make nlits { Graph.var = 0; negated = false } in
           let rest = ref rest in
           for i = 0 to nlits - 1 do
@@ -86,6 +112,7 @@ let read_lines next_line =
               let var =
                 match int_of_string_opt var with Some v -> v | None -> fail "bad literal var"
               in
+              if var < 0 || var >= nvars then fail "literal variable %d out of range" var;
               lits.(i) <- { Graph.var; negated = neg = "1" };
               rest := tail
             | _ -> fail "truncated body"
@@ -109,22 +136,43 @@ let read_lines next_line =
            })
     | _ -> fail "truncated factor line"
   in
+  let checksum_seen = ref false in
   let rec loop () =
+    (* The checksum covers every line before its own, so snapshot the
+       running digest before consuming the next line. *)
+    let body_crc = Crc32.finish !crc in
     let l = expect_line () in
+    let reject_after_checksum () =
+      if !checksum_seen then fail "content after checksum footer"
+    in
     match String.split_on_char ' ' l with
-    | [ "end" ] -> ()
+    | [ "end" ] ->
+      if version >= 2 && not !checksum_seen then fail "missing checksum footer"
+    | [ "checksum"; hex ] ->
+      reject_after_checksum ();
+      if version < 2 then fail "unexpected checksum line in ddgraph 1";
+      (match Crc32.of_hex hex with
+      | None -> fail "malformed checksum %s" hex
+      | Some declared ->
+        if declared <> body_crc then
+          fail "checksum mismatch (declared %s, computed %s)" hex (Crc32.to_hex body_crc));
+      checksum_seen := true;
+      loop ()
     | "evidence" :: [ v; value ] ->
+      reject_after_checksum ();
       let v = match int_of_string_opt v with Some v -> v | None -> fail "bad evidence var" in
       if v < 0 || v >= nvars then fail "evidence var out of range";
       Graph.set_evidence g v (Graph.Evidence (value = "1"));
       loop ()
     | "weight" :: [ value; learnable ] ->
+      reject_after_checksum ();
       let value =
         match float_of_string_opt value with Some v -> v | None -> fail "bad weight"
       in
       ignore (Graph.add_weight ~learnable:(learnable = "1") g value);
       loop ()
     | "factor" :: rest ->
+      reject_after_checksum ();
       parse_factor rest;
       loop ()
     | _ -> fail "unexpected line: %s" l
@@ -132,17 +180,43 @@ let read_lines next_line =
   loop ();
   g
 
+(* Like [read_lines] but additionally requires exhaustion of the input
+   after [end] — a whole-file read, where trailing content (for instance a
+   duplicated [end] from a botched concatenation) means corruption.  The
+   embedded-section entry points ([read] on an open channel) must NOT
+   check this: they legitimately stop mid-stream. *)
+let read_lines_exhaustive next_line =
+  let g = read_lines next_line in
+  (match next_line () with
+  | Some extra when String.trim extra <> "" -> fail "trailing content after end: %s" extra
+  | Some _ | None -> ());
+  g
+
 let write out g = write_lines ~emit:(output_string out) g
 
 let read ic = read_lines (fun () -> try Some (input_line ic) with End_of_file -> None)
 
 let save path g =
-  let out = open_out path in
-  Fun.protect ~finally:(fun () -> close_out out) (fun () -> write out g)
+  (* Atomic publish: the graph is streamed to a sibling temp file which is
+     renamed over the target only after a complete write, so a crash
+     mid-save never leaves a truncated artifact at [path]. *)
+  let tmp = path ^ ".tmp" in
+  let out = open_out tmp in
+  (match write out g with
+  | () -> close_out out
+  | exception e ->
+    close_out_noerr out;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Fault.hit "serialize.save.pre_rename";
+  Sys.rename tmp path
 
 let load path =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      read_lines_exhaustive (fun () -> try Some (input_line ic) with End_of_file -> None))
 
 let to_string g =
   let buffer = Buffer.create 4096 in
@@ -151,7 +225,7 @@ let to_string g =
 
 let of_string text =
   let lines = ref (String.split_on_char '\n' text) in
-  read_lines (fun () ->
+  read_lines_exhaustive (fun () ->
       match !lines with
       | [] -> None
       | l :: rest ->

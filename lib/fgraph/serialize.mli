@@ -8,25 +8,39 @@
     representation details.
 
     {v
-      ddgraph 1
+      ddgraph 2
       vars <n>
       evidence <var> <0|1>          (one line per evidence variable)
       weight <value> <0|1>          (in weight-id order; flag = learnable)
       factor <head|-1> <weight_id> <semantics> <nbodies> | <nlits> <var> <0|1> ... | ...
+      checksum <crc32-hex>          (over every byte above this line)
       end
-    v} *)
+    v}
+
+    Version 2 adds the CRC-32 footer; version 1 files (no footer) are
+    still readable.  The reader bounds-checks every reference — evidence
+    vars, factor heads, literal vars and weight ids — so a corrupt file
+    raises {!Format_error} instead of building an inconsistent graph.
+    Writers always emit version 2, and serialization is deterministic:
+    load followed by re-serialization is byte-identical. *)
 
 exception Format_error of string
 
 val write : out_channel -> Graph.t -> unit
 
 val read : in_channel -> Graph.t
-(** Raises {!Format_error} on malformed input. *)
+(** Raises {!Format_error} on malformed input (including a checksum
+    mismatch).  Stops at the [end] line, leaving the channel positioned
+    after it — usable for graphs embedded in larger files. *)
 
 val save : string -> Graph.t -> unit
-(** Write to a file path. *)
+(** Write to a file path atomically: the content goes to [path ^ ".tmp"]
+    and is renamed over [path] only once complete, so an interrupted save
+    never leaves a truncated graph at the target. *)
 
 val load : string -> Graph.t
+(** Read a whole file; trailing content after [end] (e.g. a duplicated
+    footer) is a {!Format_error}. *)
 
 val to_string : Graph.t -> string
 

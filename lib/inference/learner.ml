@@ -48,6 +48,9 @@ let train_cd ?(options = default_cd) ?(on_epoch = fun _ _ -> ()) rng g =
   let positive = Gibbs.init_assignment rng g in
   let negative = Gibbs.init_assignment rng g in
   for epoch = 0 to options.epochs - 1 do
+    (* Crash mid-training = weights partially stepped; recovery discards
+       them with the rest of the in-memory state. *)
+    Dd_util.Fault.hit "learner.train_cd.epoch";
     for _ = 1 to options.chain_sweeps do
       Gibbs.sweep rng g positive;
       sweep_all_vars rng g negative

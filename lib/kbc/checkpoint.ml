@@ -1,0 +1,335 @@
+(* Crash-safe checkpoint/recovery for the incremental KBC loop.
+
+   The durable layout inside a store directory is:
+
+     MANIFEST            names the latest valid checkpoint + its WAL
+     ckpt-<n>.ddckpt     engine state after the first n updates
+     wal-<n>.log         updates n+1, n+2, ... (one entry each)
+
+   A checkpoint file embeds the factor graph in the auditable ddgraph v2
+   text format (with its own CRC-32 footer) followed by a CRC-checked
+   binary snapshot of the full engine state.  Every publish is atomic
+   (temp file + rename) and ordered so that a crash at any instant leaves
+   the previous MANIFEST consistent: first the fresh (empty) WAL, then the
+   checkpoint file, then the MANIFEST switch.
+
+   The write-ahead log makes individual updates durable before they
+   mutate the engine: [apply_update] appends the update's payload
+   (flushed) and only then runs the in-memory update.  Recovery therefore
+   is: load the latest checkpoint, validate it, replay the WAL through
+   the ordinary [Engine.apply_update] path — deterministic, since the
+   snapshot includes the engine's PRNG state — and publish a fresh
+   checkpoint.  A torn entry at the WAL tail (the classic mid-append
+   crash) fails its CRC or length check and marks the end of the log. *)
+
+module Engine = Dd_core.Engine
+module Grounding = Dd_core.Grounding
+module Graph = Dd_fgraph.Graph
+module Serialize = Dd_fgraph.Serialize
+module Database = Dd_relational.Database
+module Crc32 = Dd_util.Crc32
+module Fault = Dd_util.Fault
+
+type error =
+  | No_checkpoint  (** the store has no published manifest *)
+  | Corrupt of string  (** bad magic, failed checksum, torn structure *)
+  | Invalid_state of string  (** checksums fine, semantic validation failed *)
+
+let error_to_string = function
+  | No_checkpoint -> "no checkpoint published in store"
+  | Corrupt message -> "corrupt checkpoint store: " ^ message
+  | Invalid_state message -> "checkpoint failed validation: " ^ message
+
+type t = {
+  dir : string;
+  mutable seq : int;  (* updates logged since the engine was created *)
+  mutable wal : out_channel option;
+}
+
+let manifest_path store = Filename.concat store.dir "MANIFEST"
+
+let ckpt_path store seq = Filename.concat store.dir (Printf.sprintf "ckpt-%d.ddckpt" seq)
+
+let wal_path store seq = Filename.concat store.dir (Printf.sprintf "wal-%d.log" seq)
+
+let open_store dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  if not (Sys.is_directory dir) then
+    invalid_arg ("Checkpoint.open_store: not a directory: " ^ dir);
+  { dir; seq = 0; wal = None }
+
+let abandon store =
+  (match store.wal with Some ch -> close_out_noerr ch | None -> ());
+  store.wal <- None
+
+(* Atomic small-file publish. *)
+let write_file_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let out = open_out_bin tmp in
+  (match output_string out content with
+  | () -> close_out out
+  | exception e ->
+    close_out_noerr out;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
+
+(* --- checkpoint save ------------------------------------------------------- *)
+
+let state_snapshot engine = Marshal.to_string (engine : Engine.t) []
+
+let checkpoint_content engine ~seq =
+  let buffer = Buffer.create 65536 in
+  Buffer.add_string buffer "ddckpt 1\n";
+  Buffer.add_string buffer (Printf.sprintf "seq %d\n" seq);
+  Buffer.add_string buffer (Serialize.to_string (Engine.graph engine));
+  let state = state_snapshot engine in
+  Buffer.add_string buffer
+    (Printf.sprintf "state %d %s\n" (String.length state)
+       (Crc32.to_hex (Crc32.string state)));
+  Buffer.add_string buffer state;
+  Buffer.add_string buffer "\nend\n";
+  Buffer.contents buffer
+
+let publish_manifest store ~ckpt ~wal =
+  let content =
+    Printf.sprintf "ddmanifest 1\ncheckpoint %s\nwal %s\nend\n" ckpt wal
+  in
+  write_file_atomic (manifest_path store) content
+
+let gc_stale_files store ~keep_ckpt ~keep_wal =
+  Array.iter
+    (fun name ->
+      let stale_ckpt = Filename.check_suffix name ".ddckpt" && name <> keep_ckpt in
+      let stale_wal =
+        String.length name >= 4 && String.sub name 0 4 = "wal-" && name <> keep_wal
+      in
+      if stale_ckpt || stale_wal then
+        try Sys.remove (Filename.concat store.dir name) with Sys_error _ -> ())
+    (try Sys.readdir store.dir with Sys_error _ -> [||])
+
+let save store engine =
+  let seq = store.seq in
+  (* 1. Fresh empty WAL for the updates that will follow this checkpoint.
+     Not yet referenced by the manifest, so a crash here is invisible. *)
+  let wal_name = Printf.sprintf "wal-%d.log" seq in
+  write_file_atomic (wal_path store seq) (Printf.sprintf "ddwal 1 %d\n" seq);
+  (* 2. The checkpoint file itself. *)
+  let ckpt_name = Printf.sprintf "ckpt-%d.ddckpt" seq in
+  let tmp = ckpt_path store seq ^ ".tmp" in
+  write_file_atomic tmp (checkpoint_content engine ~seq);
+  Fault.hit "checkpoint.save.pre_rename";
+  Sys.rename tmp (ckpt_path store seq);
+  (* 3. Only the manifest switch makes the new checkpoint authoritative. *)
+  Fault.hit "checkpoint.save.pre_manifest";
+  publish_manifest store ~ckpt:ckpt_name ~wal:wal_name;
+  (* 4. Retire the previous WAL channel and files. *)
+  (match store.wal with Some ch -> close_out_noerr ch | None -> ());
+  store.wal <- Some (open_out_gen [ Open_wronly; Open_append ] 0o644 (wal_path store seq));
+  gc_stale_files store ~keep_ckpt:ckpt_name ~keep_wal:wal_name
+
+(* --- write-ahead log ------------------------------------------------------- *)
+
+let log_update store (update : Grounding.update) =
+  match store.wal with
+  | None -> invalid_arg "Checkpoint.log_update: no checkpoint published yet"
+  | Some ch ->
+    let payload = Marshal.to_string update [] in
+    let seq = store.seq + 1 in
+    output_string ch
+      (Printf.sprintf "entry %d %d %s\n" seq (String.length payload)
+         (Crc32.to_hex (Crc32.string payload)));
+    (* Crash between header and payload leaves a torn tail entry, which
+       recovery discards. *)
+    Fault.hit "checkpoint.log_update.mid_write";
+    output_string ch payload;
+    output_string ch "\n";
+    flush ch;
+    store.seq <- seq
+
+let apply_update store engine update =
+  log_update store update;
+  Engine.apply_update engine update
+
+(* --- load + recovery ------------------------------------------------------- *)
+
+exception Bad of error
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Bad (Corrupt m))) fmt
+
+let read_manifest store =
+  let path = manifest_path store in
+  if not (Sys.file_exists path) then raise (Bad No_checkpoint);
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line () = try input_line ic with End_of_file -> corrupt "truncated MANIFEST" in
+      (match line () with
+      | "ddmanifest 1" -> ()
+      | other -> corrupt "bad MANIFEST header: %s" other);
+      let ckpt =
+        match String.split_on_char ' ' (line ()) with
+        | [ "checkpoint"; name ] -> name
+        | _ -> corrupt "bad MANIFEST checkpoint line"
+      in
+      let wal =
+        match String.split_on_char ' ' (line ()) with
+        | [ "wal"; name ] -> name
+        | _ -> corrupt "bad MANIFEST wal line"
+      in
+      (match line () with "end" -> () | _ -> corrupt "bad MANIFEST footer");
+      (ckpt, wal))
+
+let validate engine =
+  let ( let* ) = Result.bind in
+  let* () =
+    Result.map_error (fun e -> "factor graph: " ^ e) (Graph.validate (Engine.graph engine))
+  in
+  Result.map_error
+    (fun e -> "database: " ^ e)
+    (Database.validate (Grounding.database (Engine.grounding engine)))
+
+let load_checkpoint_file path =
+  if not (Sys.file_exists path) then corrupt "missing checkpoint file %s" path;
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line () = try input_line ic with End_of_file -> corrupt "truncated checkpoint" in
+      (match line () with
+      | "ddckpt 1" -> ()
+      | other -> corrupt "bad checkpoint header: %s" other);
+      let seq =
+        match String.split_on_char ' ' (line ()) with
+        | [ "seq"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> n
+          | Some _ | None -> corrupt "bad checkpoint seq")
+        | _ -> corrupt "expected seq line"
+      in
+      (* The embedded ddgraph section runs through its own [end] line. *)
+      let graph_buffer = Buffer.create 65536 in
+      let rec slurp_graph () =
+        let l = line () in
+        Buffer.add_string graph_buffer l;
+        Buffer.add_char graph_buffer '\n';
+        if l <> "end" then slurp_graph ()
+      in
+      slurp_graph ();
+      let graph_text = Buffer.contents graph_buffer in
+      let graph =
+        match Serialize.of_string graph_text with
+        | g -> g
+        | exception Serialize.Format_error m -> corrupt "embedded graph: %s" m
+      in
+      let state_len, state_crc =
+        match String.split_on_char ' ' (line ()) with
+        | [ "state"; len; crc ] -> (
+          match (int_of_string_opt len, Crc32.of_hex crc) with
+          | Some len, Some crc when len >= 0 -> (len, crc)
+          | _ -> corrupt "bad state line")
+        | _ -> corrupt "expected state line"
+      in
+      let state = Bytes.create state_len in
+      (try really_input ic state 0 state_len
+       with End_of_file -> corrupt "truncated state section");
+      let state = Bytes.unsafe_to_string state in
+      (* Checksum gate before unmarshalling: [Marshal.from_string] on
+         corrupted bytes is undefined behaviour, so it must never see
+         them. *)
+      if Crc32.string state <> state_crc then corrupt "state checksum mismatch";
+      (match line () with
+      | "" -> ()
+      | _ -> corrupt "missing state terminator");
+      (match line () with "end" -> () | _ -> corrupt "missing checkpoint footer");
+      (match Graph.validate graph with
+      | Ok () -> ()
+      | Error m -> raise (Bad (Invalid_state ("embedded graph: " ^ m))));
+      let engine : Engine.t = Marshal.from_string state 0 in
+      (* Cross-check the binary snapshot against the auditable graph
+         section: both came from the same save, so re-serialization must
+         be byte-identical. *)
+      if Serialize.to_string (Engine.graph engine) <> graph_text then
+        raise (Bad (Invalid_state "embedded graph does not match engine state"));
+      (match validate engine with
+      | Ok () -> ()
+      | Error m -> raise (Bad (Invalid_state m)));
+      (seq, engine))
+
+(* Entries after the checkpoint, in order; a torn or out-of-sequence tail
+   entry ends the log. *)
+let read_wal path ~ckpt_seq =
+  if not (Sys.file_exists path) then corrupt "missing WAL file %s" path;
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (match input_line ic with
+      | header ->
+        (match String.split_on_char ' ' header with
+        | [ "ddwal"; "1"; n ] when int_of_string_opt n = Some ckpt_seq -> ()
+        | _ -> corrupt "bad WAL header: %s" header)
+      | exception End_of_file -> corrupt "empty WAL file");
+      let entries = ref [] in
+      let expected = ref (ckpt_seq + 1) in
+      (* [None] = end of log (EOF, torn tail, or any malformed structure —
+         all treated as "the entry never made it to disk"). *)
+      let next_entry () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | header -> (
+          match String.split_on_char ' ' header with
+          | [ "entry"; seq; len; crc ] -> (
+            match (int_of_string_opt seq, int_of_string_opt len, Crc32.of_hex crc) with
+            | Some seq, Some len, Some crc when seq = !expected && len >= 0 -> (
+              let payload = Bytes.create len in
+              match really_input ic payload 0 len with
+              | exception End_of_file -> None (* torn tail *)
+              | () -> (
+                let payload = Bytes.unsafe_to_string payload in
+                if Crc32.string payload <> crc then None (* torn/corrupt tail *)
+                else
+                  match input_line ic with
+                  | "" -> Some (Marshal.from_string payload 0 : Grounding.update)
+                  | _ -> None (* bad terminator: torn *)
+                  | exception End_of_file -> None (* missing terminator: torn *)))
+            | _ -> None (* malformed or out-of-sequence header: end of log *))
+          | _ -> None)
+      in
+      let rec loop () =
+        match next_entry () with
+        | None -> ()
+        | Some update ->
+          entries := update :: !entries;
+          incr expected;
+          loop ()
+      in
+      loop ();
+      List.rev !entries)
+
+let recover store =
+  abandon store;
+  match
+    let ckpt, wal = read_manifest store in
+    let ckpt_seq, engine = load_checkpoint_file (Filename.concat store.dir ckpt) in
+    let updates = read_wal (Filename.concat store.dir wal) ~ckpt_seq in
+    (* Replay through the ordinary update path: deterministic because the
+       snapshot restored the engine's PRNG along with everything else. *)
+    List.iter (fun update -> ignore (Engine.apply_update engine update)) updates;
+    let applied = ckpt_seq + List.length updates in
+    store.seq <- applied;
+    (* Re-publish so the replay work is durable and any torn WAL tail is
+       retired. *)
+    save store engine;
+    (engine, applied)
+  with
+  | result -> Ok result
+  | exception Bad error -> Error error
+  | exception Sys_error m -> Error (Corrupt m)
+
+let latest store =
+  match read_manifest store with
+  | ckpt, _ -> Some ckpt
+  | exception Bad _ -> None
+  | exception Sys_error _ -> None

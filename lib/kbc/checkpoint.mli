@@ -1,0 +1,72 @@
+(** Crash-safe checkpoint/recovery for the incremental KBC loop.
+
+    The whole value of incremental materialization is that each iteration
+    of the develop–evaluate loop is cheap; a crash mid-update must not
+    force a full Rerun.  This module makes the engine restartable:
+
+    - {!save} publishes a versioned checkpoint of the full engine state
+      (factor graph in auditable ddgraph v2 text with a CRC-32 footer,
+      plus a CRC-checked binary snapshot covering learned weights, the
+      materialization, the database and the applied-rule list) atomically
+      via temp-file + rename, and a [MANIFEST] names the latest valid
+      checkpoint.
+    - {!apply_update} appends the update's {!Dd_core.Grounding.update}
+      payload to a write-ahead log ([flush]ed) {e before} mutating the
+      engine.
+    - {!recover} loads the manifest checkpoint, verifies every checksum,
+      runs {!Dd_fgraph.Graph.validate} plus a relational schema check,
+      replays the WAL through the ordinary update path (deterministic —
+      the snapshot includes the PRNG state), and re-publishes.
+
+    Crash sites in this module and in the engine are instrumented with
+    {!Dd_util.Fault} points; see {!Recovery} for the crash–recover–compare
+    harness built on top. *)
+
+module Engine = Dd_core.Engine
+module Grounding = Dd_core.Grounding
+
+type error =
+  | No_checkpoint  (** the store has no published manifest *)
+  | Corrupt of string  (** bad magic, failed checksum, torn structure *)
+  | Invalid_state of string
+      (** checksums fine, semantic validation (graph/schema) failed *)
+
+val error_to_string : error -> string
+
+type t
+(** A checkpoint store rooted at one directory. *)
+
+val open_store : string -> t
+(** Create (or reattach to) a store directory.  Does not read anything:
+    call {!recover} to load published state, or {!save} to publish. *)
+
+val save : t -> Engine.t -> unit
+(** Publish a checkpoint of the engine's current state and rotate the
+    WAL.  Ordering guarantees that a crash at any instant leaves the
+    previously published checkpoint authoritative. *)
+
+val log_update : t -> Grounding.update -> unit
+(** Append one update payload to the WAL and flush it.  Raises
+    [Invalid_argument] if no checkpoint has been published yet. *)
+
+val apply_update : t -> Engine.t -> Grounding.update -> Engine.report
+(** [log_update] followed by {!Engine.apply_update}: the WAL entry is
+    durable before any in-memory state changes. *)
+
+val recover : t -> (Engine.t * int, error) result
+(** Load the latest valid checkpoint, validate it, replay the WAL, and
+    return the rebuilt engine together with the total number of updates
+    it has absorbed (checkpoint seq + replayed entries).  Torn WAL tail
+    entries are discarded.  On success a fresh checkpoint is published. *)
+
+val validate : Engine.t -> (unit, string) result
+(** The load-time validation pass, exported for direct use:
+    {!Dd_fgraph.Graph.validate} on the factor graph and
+    {!Dd_relational.Database.validate} on the restored tuples. *)
+
+val latest : t -> string option
+(** Name of the manifest's current checkpoint file, if any. *)
+
+val abandon : t -> unit
+(** Close the store's WAL channel without any further writes (used by the
+    fault harness to simulate a process death). *)

@@ -31,6 +31,11 @@ let copy t =
   Hashtbl.iter (fun name r -> Hashtbl.replace fresh.tables name (Relation.copy r)) t.tables;
   fresh
 
+let validate t =
+  List.fold_left
+    (fun acc name -> Result.bind acc (fun () -> Relation.validate (find t name)))
+    (Ok ()) (table_names t)
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>";
   List.iter

@@ -29,4 +29,7 @@ val insert_rows : t -> string -> Tuple.t list -> unit
 val copy : t -> t
 (** Deep copy: relations are copied too. *)
 
+val validate : t -> (unit, string) result
+(** {!Relation.validate} over every table (first failure wins). *)
+
 val pp : Format.formatter -> t -> unit

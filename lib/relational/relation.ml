@@ -98,6 +98,23 @@ let equal_contents a b =
 let equal_sets a b =
   cardinality a = cardinality b && fold (fun tup _ acc -> acc && mem b tup) a true
 
+(* Re-audit schema conformance and count positivity — [insert] enforces
+   both on entry, but a relation restored from a durable snapshot bypassed
+   insert entirely. *)
+let validate t =
+  fold
+    (fun tup c acc ->
+      Result.bind acc (fun () ->
+          if c <= 0 then
+            Error (Printf.sprintf "%s: tuple %s has non-positive count %d" t.name (Tuple.to_string tup) c)
+          else if not (Schema.conforms t.schema tup) then
+            Error
+              (Printf.sprintf "%s: tuple %s does not conform to schema%s" t.name
+                 (Tuple.to_string tup)
+                 (Format.asprintf "%a" Schema.pp t.schema))
+          else Ok ()))
+    t (Ok ())
+
 let filter pred t =
   let out = create ~name:t.name t.schema in
   iter (fun tup c -> if pred tup then insert ~count:c out tup) t;

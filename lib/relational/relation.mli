@@ -58,6 +58,11 @@ val equal_contents : t -> t -> bool
 val equal_sets : t -> t -> bool
 (** Same distinct tuples, multiplicities ignored. *)
 
+val validate : t -> (unit, string) result
+(** Re-check every stored tuple against the schema (and counts against
+    positivity).  [insert] enforces this on entry; relations restored from
+    a checkpoint bypassed insert and must be re-audited. *)
+
 val filter : (Tuple.t -> bool) -> t -> t
 
 val build_index : t -> int array -> (Tuple.t, Tuple.t list) Hashtbl.t

@@ -383,6 +383,83 @@ let test_serialize_rejects_garbage () =
     [ "nonsense"; "ddgraph 2\nvars 0\nend"; "ddgraph 1\nvars x\nend";
       "ddgraph 1\nvars 1\nfactor 0 0 bogus 0\nend" ]
 
+let expect_format_error label text =
+  Alcotest.(check bool) label true
+    (match Serialize.of_string text with
+    | _ -> false
+    | exception Serialize.Format_error _ -> true)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then Alcotest.fail ("substring not found: " ^ sub)
+    else if String.sub s i m = sub then i
+    else go (i + 1)
+  in
+  go 0
+
+let test_serialize_rejects_truncation () =
+  let text = Serialize.to_string (rich_graph ()) in
+  List.iter
+    (fun keep ->
+      expect_format_error (Printf.sprintf "truncated to %d bytes" keep)
+        (String.sub text 0 keep))
+    [ String.length text - 5; String.length text / 2; 12 ]
+
+let test_serialize_rejects_flipped_byte () =
+  let text = Serialize.to_string (rich_graph ()) in
+  (* Flip one bit of a digit inside a factor line: the line still parses
+     (or fails), but the CRC footer must catch it either way. *)
+  let pos = find_sub text "factor " + String.length "factor " in
+  let b = Bytes.of_string text in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+  expect_format_error "flipped byte in factor line" (Bytes.to_string b)
+
+let test_serialize_rejects_forged_checksum () =
+  let text = Serialize.to_string (rich_graph ()) in
+  let i = find_sub text "checksum " + String.length "checksum " in
+  let forged = if String.sub text i 8 = "deadbeef" then "00000000" else "deadbeef" in
+  expect_format_error "forged checksum footer"
+    (String.sub text 0 i ^ forged ^ String.sub text (i + 8) (String.length text - i - 8))
+
+let test_serialize_rejects_duplicate_end () =
+  let text = Serialize.to_string (rich_graph ()) in
+  expect_format_error "duplicate end" (text ^ "end\n")
+
+let test_serialize_rejects_out_of_range_refs () =
+  (* v1 texts (no checksum) so the reference checks themselves are what
+     rejects these, not the footer. *)
+  List.iter
+    (fun (label, text) -> expect_format_error label text)
+    [
+      ( "weight id out of range",
+        "ddgraph 1\nvars 1\nweight 0.5 0\nfactor 0 3 ratio 1 | 1 0 0\nend" );
+      ( "literal var out of range",
+        "ddgraph 1\nvars 1\nweight 0.5 0\nfactor 0 0 ratio 1 | 1 5 0\nend" );
+      ( "head var out of range",
+        "ddgraph 1\nvars 1\nweight 0.5 0\nfactor 7 0 ratio 1 | 1 0 0\nend" );
+    ]
+
+let test_serialize_v1_still_loads () =
+  (* The v2 writer's body is the v1 body; stripping the footer yields a
+     valid v1 file. *)
+  let g = rich_graph () in
+  let text = Serialize.to_string g in
+  let i = find_sub text "checksum " in
+  let v1 =
+    "ddgraph 1" ^ String.sub text 9 (i - 9) ^ "end\n"
+  in
+  Alcotest.(check bool) "v1 body loads" true
+    (graphs_equivalent g (Serialize.of_string v1))
+
+let test_graph_validate () =
+  let g = rich_graph () in
+  Alcotest.(check bool) "valid graph" true (Graph.validate g = Ok ());
+  let bad_weight = rich_graph () in
+  Graph.set_weight bad_weight 0 Float.nan;
+  Alcotest.(check bool) "nan weight rejected" true
+    (match Graph.validate bad_weight with Error _ -> true | Ok () -> false)
+
 (* --- qcheck ------------------------------------------------------------------- *)
 
 let random_graph seed =
@@ -496,6 +573,16 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_serialize_file_roundtrip;
           Alcotest.test_case "empty graph" `Quick test_serialize_empty_graph;
           Alcotest.test_case "rejects garbage" `Quick test_serialize_rejects_garbage;
+          Alcotest.test_case "rejects truncation" `Quick test_serialize_rejects_truncation;
+          Alcotest.test_case "rejects flipped byte" `Quick test_serialize_rejects_flipped_byte;
+          Alcotest.test_case "rejects forged checksum" `Quick
+            test_serialize_rejects_forged_checksum;
+          Alcotest.test_case "rejects duplicate end" `Quick
+            test_serialize_rejects_duplicate_end;
+          Alcotest.test_case "rejects out-of-range refs" `Quick
+            test_serialize_rejects_out_of_range_refs;
+          Alcotest.test_case "v1 still loads" `Quick test_serialize_v1_still_loads;
+          Alcotest.test_case "graph validate" `Quick test_graph_validate;
         ] );
       ( "voting",
         [

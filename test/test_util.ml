@@ -4,6 +4,8 @@ module Prng = Dd_util.Prng
 module Stats = Dd_util.Stats
 module Union_find = Dd_util.Union_find
 module Table = Dd_util.Table
+module Crc32 = Dd_util.Crc32
+module Fault = Dd_util.Fault
 
 let check_float = Alcotest.(check (float 1e-9))
 let check_close epsilon = Alcotest.(check (float epsilon))
@@ -304,6 +306,98 @@ let test_cell_formats () =
   Alcotest.(check bool) "tiny scientific" true
     (String.contains (Table.cell_f 1e-6) 'e')
 
+(* --- crc32 ----------------------------------------------------------------- *)
+
+let test_crc32_known_vectors () =
+  (* Standard CRC-32 (IEEE) check values. *)
+  Alcotest.(check string) "empty" "00000000" (Crc32.to_hex (Crc32.string ""));
+  Alcotest.(check string) "123456789" "cbf43926"
+    (Crc32.to_hex (Crc32.string "123456789"));
+  Alcotest.(check string) "hello" "3610a686" (Crc32.to_hex (Crc32.string "hello"))
+
+let test_crc32_streaming_matches_whole () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let split = 17 in
+  let streamed =
+    Crc32.finish
+      (Crc32.update_string
+         (Crc32.update_string Crc32.init (String.sub s 0 split))
+         (String.sub s split (String.length s - split)))
+  in
+  Alcotest.(check string) "streamed = whole" (Crc32.to_hex (Crc32.string s))
+    (Crc32.to_hex streamed)
+
+let test_crc32_hex_roundtrip () =
+  let crc = Crc32.string "roundtrip" in
+  (match Crc32.of_hex (Crc32.to_hex crc) with
+  | Some back -> Alcotest.(check bool) "roundtrip" true (back = crc)
+  | None -> Alcotest.fail "of_hex rejected its own to_hex");
+  Alcotest.(check bool) "bad length" true (Crc32.of_hex "abc" = None);
+  Alcotest.(check bool) "bad digit" true (Crc32.of_hex "0000000g" = None);
+  Alcotest.(check bool) "sign prefix" true (Crc32.of_hex "-0000001" = None)
+
+let test_crc32_detects_flip () =
+  let s = Bytes.of_string "some serialized payload" in
+  let original = Crc32.string (Bytes.to_string s) in
+  Bytes.set s 5 (Char.chr (Char.code (Bytes.get s 5) lxor 1));
+  Alcotest.(check bool) "single bit flip detected" true
+    (Crc32.string (Bytes.to_string s) <> original)
+
+(* --- fault injection ------------------------------------------------------- *)
+
+let test_fault_unarmed_never_fires () =
+  Fault.reset ();
+  for _ = 1 to 100 do
+    Fault.hit "test.unarmed.site"
+  done;
+  Alcotest.(check int) "hits counted" 100 (Fault.hits "test.unarmed.site");
+  Alcotest.(check int) "never fired" 0 (Fault.fired "test.unarmed.site");
+  Fault.reset ()
+
+let test_fault_nth_fires_exactly () =
+  Fault.reset ();
+  Fault.arm "test.nth.site" (Fault.Nth 3);
+  Fault.hit "test.nth.site";
+  Fault.hit "test.nth.site";
+  (match Fault.hit "test.nth.site" with
+  | () -> Alcotest.fail "third hit should raise"
+  | exception Fault.Injected name ->
+    Alcotest.(check string) "carries point name" "test.nth.site" name);
+  (* Later hits do not re-fire: the process is assumed dead after one. *)
+  Fault.hit "test.nth.site";
+  Alcotest.(check int) "fired once" 1 (Fault.fired "test.nth.site");
+  Fault.reset ()
+
+let test_fault_probability_deterministic () =
+  let count_fires seed =
+    Fault.reset ();
+    Fault.seed seed;
+    Fault.arm "test.prob.site" (Fault.Probability 0.5);
+    let fires = ref 0 in
+    for _ = 1 to 200 do
+      (try Fault.hit "test.prob.site" with Fault.Injected _ -> incr fires);
+      Fault.arm "test.prob.site" (Fault.Probability 0.5)
+    done;
+    !fires
+  in
+  let a = count_fires 11 and b = count_fires 11 and c = count_fires 12 in
+  Alcotest.(check int) "same seed, same schedule" a b;
+  Alcotest.(check bool) "roughly half fire" true (a > 50 && a < 150);
+  Alcotest.(check bool) "different seed diverges" true (a <> c);
+  Fault.reset ()
+
+let test_fault_registry_and_is_injected () =
+  Fault.reset ();
+  Fault.declare "test.registry.b";
+  Fault.declare "test.registry.a";
+  let names = Fault.registered () in
+  Alcotest.(check bool) "declared names listed" true
+    (List.mem "test.registry.a" names && List.mem "test.registry.b" names);
+  Alcotest.(check bool) "sorted" true (List.sort compare names = names);
+  Alcotest.(check bool) "is_injected yes" true (Fault.is_injected (Fault.Injected "x"));
+  Alcotest.(check bool) "is_injected no" false (Fault.is_injected Exit);
+  Fault.reset ()
+
 (* --- qcheck properties ---------------------------------------------------- *)
 
 let qcheck_tests =
@@ -402,6 +496,22 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
           Alcotest.test_case "cell formats" `Quick test_cell_formats;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc32_known_vectors;
+          Alcotest.test_case "streaming" `Quick test_crc32_streaming_matches_whole;
+          Alcotest.test_case "hex roundtrip" `Quick test_crc32_hex_roundtrip;
+          Alcotest.test_case "detects bit flip" `Quick test_crc32_detects_flip;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "unarmed never fires" `Quick test_fault_unarmed_never_fires;
+          Alcotest.test_case "nth fires exactly" `Quick test_fault_nth_fires_exactly;
+          Alcotest.test_case "probability deterministic" `Quick
+            test_fault_probability_deterministic;
+          Alcotest.test_case "registry + is_injected" `Quick
+            test_fault_registry_and_is_injected;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]
