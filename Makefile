@@ -11,8 +11,9 @@ test:
 verify:
 	dune build && dune runtest
 
+# Forward experiment names and flags: make bench ARGS="scaling --json out.json"
 bench:
-	dune exec bench/main.exe
+	dune exec bench/main.exe -- $(ARGS)
 
 clean:
 	dune clean

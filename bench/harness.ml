@@ -28,6 +28,56 @@ let section title =
 
 let note fmt = Printf.ksprintf (fun line -> Printf.printf "%s\n" line) fmt
 
+(* --- machine-readable results ------------------------------------------ *)
+
+(* Experiments report named scalar results through [metric]; the driver
+   (bench/main.ml) snapshots them per experiment and, under [--json],
+   writes one BENCH_<name>.json-style file per experiment so the perf
+   trajectory of the repo is diffable across commits. *)
+
+let current_metrics : (string * float) list ref = ref []
+
+let reset_metrics () = current_metrics := []
+
+let metric key value = current_metrics := (key, value) :: !current_metrics
+
+let metrics () = List.rev !current_metrics
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  (* JSON has no NaN/Infinity literals; clamp to null. *)
+  if Float.is_finite v then Printf.sprintf "%.9g" v else "null"
+
+let write_json_record ~path ~name ~scale ~wall_clock_s ~metrics =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"experiment\": \"%s\",\n" (json_escape name);
+      Printf.fprintf oc "  \"scale\": \"%s\",\n" (json_escape scale);
+      Printf.fprintf oc "  \"wall_clock_seconds\": %s,\n" (json_float wall_clock_s);
+      Printf.fprintf oc "  \"metrics\": {";
+      List.iteri
+        (fun i (key, value) ->
+          Printf.fprintf oc "%s\n    \"%s\": %s"
+            (if i = 0 then "" else ",")
+            (json_escape key) (json_float value))
+        metrics;
+      Printf.fprintf oc "%s}\n}\n" (if metrics = [] then "" else "\n  "))
+
 (* Median-of-k timing to damp scheduler noise. *)
 let time_median ?(repeats = 3) f =
   let times = List.init repeats (fun _ -> Timer.time_s f) in

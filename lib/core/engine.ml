@@ -4,6 +4,7 @@ module Database = Dd_relational.Database
 module Gibbs = Dd_inference.Gibbs
 module Learner = Dd_inference.Learner
 module Metropolis = Dd_inference.Metropolis
+module Par_gibbs = Dd_parallel.Par_gibbs
 module Prng = Dd_util.Prng
 module Timer = Dd_util.Timer
 module Fault = Dd_util.Fault
@@ -23,6 +24,7 @@ type options = {
   disable_sampling : bool;
   disable_variational : bool;
   workload_aware : bool;
+  parallel_domains : int;
   seed : int;
 }
 
@@ -42,6 +44,7 @@ let default_options =
     disable_sampling = false;
     disable_variational = false;
     workload_aware = true;
+    parallel_domains = 1;
     seed = 42;
   }
 
@@ -100,7 +103,8 @@ let materialize_now t =
     Materialize.materialize ~n_samples:t.opts.materialization_samples
       ~burn_in:t.opts.burn_in ~lambda:t.opts.lambda
       ~variational_var_limit:t.opts.variational_var_limit
-      ~with_variational:t.opts.with_variational t.rng (graph t);
+      ~with_variational:t.opts.with_variational
+      ~domains:t.opts.parallel_domains t.rng (graph t);
   Hashtbl.reset t.extension_origin;
   t.proposals_used <- 0
 
@@ -239,8 +243,13 @@ let apply_update t update =
     | Optimizer.Sampling | Optimizer.Variational ->
       let m, secs =
         Timer.time (fun () ->
-            Gibbs.marginals ~burn_in:t.opts.burn_in t.rng (graph t)
-              ~sweeps:t.opts.inference_chain)
+            if t.opts.parallel_domains > 1 then
+              Par_gibbs.marginals ~burn_in:t.opts.burn_in
+                ~domains:t.opts.parallel_domains t.rng (graph t)
+                ~sweeps:t.opts.inference_chain
+            else
+              Gibbs.marginals ~burn_in:t.opts.burn_in t.rng (graph t)
+                ~sweeps:t.opts.inference_chain)
       in
       (Used_full_gibbs, None, m, secs)
   in
@@ -271,6 +280,11 @@ let rerun ?(options = default_options) db prog =
         learning_rate = options.initial_learning_rate;
       }
     rng g;
-  let marginals = Gibbs.marginals ~burn_in:options.burn_in rng g ~sweeps:options.inference_chain in
+  let marginals =
+    if options.parallel_domains > 1 then
+      Par_gibbs.marginals ~burn_in:options.burn_in ~domains:options.parallel_domains rng g
+        ~sweeps:options.inference_chain
+    else Gibbs.marginals ~burn_in:options.burn_in rng g ~sweeps:options.inference_chain
+  in
   (marginals, Timer.elapsed_s timer)
 

@@ -38,6 +38,14 @@ type options = {
   disable_sampling : bool;  (** lesion: NoSampling *)
   disable_variational : bool;  (** lesion: NoRelaxation *)
   workload_aware : bool;  (** false = the NoWorkloadInfo baseline *)
+  parallel_domains : int;
+      (** domains used for materialization sampling and full-Gibbs
+          inference ({!Dd_parallel}).  The default 1 keeps the sequential
+          code paths and bit-exact seed reproducibility; [N > 1] draws
+          materialization worlds from [N] independent chains and runs
+          full-Gibbs fallbacks as color-synchronous parallel sweeps —
+          deterministic per [(seed, N)], but a different chain than
+          [N = 1]. *)
   seed : int;
 }
 

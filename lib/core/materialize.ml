@@ -3,6 +3,7 @@ module Exact = Dd_fgraph.Exact
 module Gibbs = Dd_inference.Gibbs
 module Metropolis = Dd_inference.Metropolis
 module Approx = Dd_variational.Approx
+module Par_gibbs = Dd_parallel.Par_gibbs
 module Prng = Dd_util.Prng
 module Timer = Dd_util.Timer
 
@@ -51,8 +52,10 @@ let baseline g =
     Array.init (Graph.num_vars g) (Graph.evidence_of g) )
 
 let materialize ?(n_samples = 200) ?(burn_in = 20) ?(lambda = 0.1)
-    ?(variational_var_limit = 600) ?(with_variational = true) rng g =
-  let samples = Gibbs.sample_worlds ~burn_in rng g ~n:n_samples in
+    ?(variational_var_limit = 600) ?(with_variational = true) ?(domains = 1) rng g =
+  (* [domains = 1] is Gibbs.sample_worlds bit-for-bit; above that the
+     sample store is drawn by independent chains, one per domain. *)
+  let samples = Par_gibbs.sample_worlds ~burn_in ~domains rng g ~n:n_samples in
   let variational =
     if with_variational && Graph.num_vars g <= variational_var_limit then begin
       let approx, _stats = Approx.materialize ~lambda rng g ~samples in

@@ -1,0 +1,138 @@
+module Graph = Dd_fgraph.Graph
+module Gibbs = Dd_inference.Gibbs
+module Fast_gibbs = Dd_inference.Fast_gibbs
+module Prng = Dd_util.Prng
+
+type parallel = {
+  rngs : Prng.t array;  (** stream [d] is consumed only by domain [d] *)
+  plan : Graph.var array array array;  (** color -> domain -> variables *)
+  pool : Pool.t;
+  owns_pool : bool;
+  num_colors : int;
+}
+
+type mode =
+  | Sequential of Prng.t  (** [domains = 1]: byte-for-byte Fast_gibbs *)
+  | Parallel of parallel
+
+type t = { state : Fast_gibbs.t; mode : mode; domains : int }
+
+let create ?init ?pool ~domains rng g =
+  if domains < 1 then invalid_arg "Par_gibbs.create: domains must be >= 1";
+  let state = Fast_gibbs.create ?init rng g in
+  if domains = 1 then { state; mode = Sequential rng; domains }
+  else begin
+    let partition = Partition.color g in
+    let plan = Partition.slices partition ~domains in
+    (* Splitting after [Fast_gibbs.create] keeps the initial assignment
+       identical to the sequential sampler's for the same seed. *)
+    let rngs = Array.init domains (fun _ -> Prng.split rng) in
+    let pool, owns_pool =
+      match pool with
+      | Some p ->
+        if Pool.size p < domains then
+          invalid_arg "Par_gibbs.create: pool smaller than requested domains";
+        (p, false)
+      | None -> (Pool.create domains, true)
+    in
+    {
+      state;
+      mode = Parallel { rngs; plan; pool; owns_pool; num_colors = partition.Partition.num_colors };
+      domains;
+    }
+  end
+
+let assignment t = Fast_gibbs.assignment t.state
+
+let domains t = t.domains
+
+let phases t = match t.mode with Sequential _ -> 1 | Parallel p -> p.num_colors
+
+let run_phase state p phase =
+  (* Count the slices that actually hold work: a class smaller than the
+     domain count (or a singleton class, the degenerate voting case)
+     needs no barrier — run its one busy slice inline with that slice's
+     own stream, exactly as the assigned worker would have. *)
+  let busy = ref 0 and last = ref (-1) in
+  Array.iteri
+    (fun d slice ->
+      if Array.length slice > 0 then begin
+        incr busy;
+        last := d
+      end)
+    phase;
+  if !busy = 1 then
+    let d = !last in
+    Array.iter (fun v -> Fast_gibbs.resample_var p.rngs.(d) state v) phase.(d)
+  else if !busy > 1 then
+    Pool.run p.pool (fun d ->
+        if d < Array.length phase then
+          Array.iter (fun v -> Fast_gibbs.resample_var p.rngs.(d) state v) phase.(d))
+
+let sweep t =
+  match t.mode with
+  | Sequential rng -> Fast_gibbs.sweep rng t.state
+  | Parallel p -> Array.iter (run_phase t.state p) p.plan
+
+let shutdown t =
+  match t.mode with
+  | Sequential _ -> ()
+  | Parallel p -> if p.owns_pool then Pool.shutdown p.pool
+
+let marginals ?(burn_in = 10) ~domains rng g ~sweeps =
+  if domains = 1 then Fast_gibbs.marginals ~burn_in rng g ~sweeps
+  else begin
+    let t = create ~domains rng g in
+    Fun.protect
+      ~finally:(fun () -> shutdown t)
+      (fun () ->
+        for _ = 1 to burn_in do
+          sweep t
+        done;
+        let n = Graph.num_vars g in
+        let totals = Array.make n 0 in
+        for _ = 1 to sweeps do
+          sweep t;
+          let a = Fast_gibbs.assignment t.state in
+          for v = 0 to n - 1 do
+            if a.(v) then totals.(v) <- totals.(v) + 1
+          done
+        done;
+        Array.map (fun c -> float_of_int c /. float_of_int (max 1 sweeps)) totals)
+  end
+
+(* Deterministic near-equal split of [n] across [chains]. *)
+let share n chains c = (n * (c + 1) / chains) - (n * c / chains)
+
+let with_chain_pool domains f =
+  let pool = Pool.create domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let sample_worlds ?(burn_in = 10) ?(spacing = 1) ~domains rng g ~n =
+  if domains < 1 then invalid_arg "Par_gibbs.sample_worlds: domains must be >= 1";
+  if domains = 1 then Gibbs.sample_worlds ~burn_in ~spacing rng g ~n
+  else begin
+    let rngs = Array.init domains (fun _ -> Prng.split rng) in
+    let results = Array.make domains [||] in
+    with_chain_pool domains (fun pool ->
+        Pool.run pool (fun d ->
+            if d < domains then begin
+              let quota = share n domains d in
+              if quota > 0 then
+                results.(d) <- Fast_gibbs.sample_worlds ~burn_in ~spacing rngs.(d) g ~n:quota
+            end));
+    Array.concat (Array.to_list results)
+  end
+
+let chain_marginals ?(burn_in = 10) ~domains rng g ~sweeps =
+  if domains < 1 then invalid_arg "Par_gibbs.chain_marginals: domains must be >= 1";
+  if domains = 1 then Fast_gibbs.marginals ~burn_in rng g ~sweeps
+  else begin
+    let rngs = Array.init domains (fun _ -> Prng.split rng) in
+    let per_chain = Array.make domains [||] in
+    with_chain_pool domains (fun pool ->
+        Pool.run pool (fun d ->
+            if d < domains then per_chain.(d) <- Fast_gibbs.marginals ~burn_in rngs.(d) g ~sweeps));
+    Array.init (Graph.num_vars g) (fun v ->
+        Array.fold_left (fun acc m -> acc +. m.(v)) 0.0 per_chain /. float_of_int domains)
+  end

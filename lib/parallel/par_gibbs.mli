@@ -1,0 +1,76 @@
+(** Domain-parallel Gibbs sampling.
+
+    Two parallelization modes, mirroring the two ways DimmWitted spends
+    cores:
+
+    - {b Color-synchronous sweeps} (one chain, many domains): a sweep
+      visits the {!Partition} color classes in order; within a class the
+      variables are split into per-domain slices and resampled
+      concurrently on the shared {!Dd_inference.Fast_gibbs} state.
+      Variables of one color share no factor, so concurrent updates
+      touch disjoint cached counts and disjoint assignment cells; the
+      pool barrier between classes publishes them.
+    - {b Parallel chains} (many chains, one domain each):
+      {!sample_worlds} and {!chain_marginals} run [domains] independent
+      chains and merge — the multi-core version of materialization's
+      "draw as many worlds as possible" loop.
+
+    Determinism contract: every domain owns an independent
+    {!Dd_util.Prng.split} stream and a deterministic slice of the work,
+    so results are a pure function of [(seed, graph, domains)] — re-runs
+    are bit-identical for a fixed domain count, while different domain
+    counts give different (equally valid) chains.  With [domains = 1]
+    every entry point delegates to the sequential sampler it replaces
+    ({!Dd_inference.Fast_gibbs}, or {!Dd_inference.Gibbs} for
+    [sample_worlds]) and reproduces its output bit-for-bit from the same
+    seed. *)
+
+module Graph = Dd_fgraph.Graph
+
+type t
+
+val create : ?init:bool array -> ?pool:Pool.t -> domains:int -> Dd_util.Prng.t -> Graph.t -> t
+(** Build the sampler state: the cached {!Dd_inference.Fast_gibbs}
+    counts, and — when [domains > 1] — the graph partition, one split
+    PRNG stream per domain, and a worker pool ([?pool] lends an existing
+    one, which must have [size >= domains]; otherwise a pool is spawned
+    and owned).  Raises [Invalid_argument] when [domains < 1]. *)
+
+val assignment : t -> bool array
+(** The live assignment (do not write). *)
+
+val domains : t -> int
+
+val phases : t -> int
+(** Barrier phases per sweep: the partition's color count, or 1 when
+    sequential.  Large values relative to [num_vars / domains] signal a
+    conflict-dense graph on which parallel sweeps degrade — see
+    DESIGN.md. *)
+
+val sweep : t -> unit
+(** One pass over the query variables.  [domains = 1]: exactly
+    {!Dd_inference.Fast_gibbs.sweep}.  Otherwise one barrier per color
+    class, except that phases whose work lands on a single domain run
+    inline on the caller. *)
+
+val shutdown : t -> unit
+(** Release the worker pool if this sampler owns one.  Idempotent; the
+    sampler must not be swept afterwards. *)
+
+val marginals : ?burn_in:int -> domains:int -> Dd_util.Prng.t -> Graph.t -> sweeps:int -> float array
+(** Single-chain marginals by color-synchronous sweeps.  Drop-in for
+    {!Dd_inference.Fast_gibbs.marginals} (and bit-identical to it when
+    [domains = 1]). *)
+
+val sample_worlds :
+  ?burn_in:int -> ?spacing:int -> domains:int -> Dd_util.Prng.t -> Graph.t -> n:int -> bool array array
+(** [n] worlds from [domains] independent chains (chain [d] contributes
+    a deterministic near-equal share, each burned in separately).  With
+    [domains = 1] this is {!Dd_inference.Gibbs.sample_worlds} —
+    bit-identical to the sequential materialization loop it replaces. *)
+
+val chain_marginals :
+  ?burn_in:int -> domains:int -> Dd_util.Prng.t -> Graph.t -> sweeps:int -> float array
+(** Merged marginal estimate from [domains] independent chains of
+    [sweeps] sweeps each (equal-weight average — [domains * sweeps]
+    post-burn-in samples in the time of [sweeps]). *)

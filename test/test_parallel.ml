@@ -1,0 +1,360 @@
+(* Tests for Dd_parallel: partition validity (property-tested), the
+   domain pool, and the equivalence contract of the parallel sampler —
+   bit-identical to the sequential samplers at [domains = 1], and
+   statistically agreeing with them at [domains > 1] on the voting and
+   Fig-KBC graphs. *)
+
+module Graph = Dd_fgraph.Graph
+module Semantics = Dd_fgraph.Semantics
+module Exact = Dd_fgraph.Exact
+module Voting = Dd_fgraph.Voting
+module Gibbs = Dd_inference.Gibbs
+module Fast_gibbs = Dd_inference.Fast_gibbs
+module Partition = Dd_parallel.Partition
+module Pool = Dd_parallel.Pool
+module Par_gibbs = Dd_parallel.Par_gibbs
+module Materialize = Dd_core.Materialize
+module Engine = Dd_core.Engine
+module Grounding = Dd_core.Grounding
+module Corpus = Dd_kbc.Corpus
+module Pipeline = Dd_kbc.Pipeline
+module Quality = Dd_kbc.Quality
+module Database = Dd_relational.Database
+module Prng = Dd_util.Prng
+module Stats = Dd_util.Stats
+
+(* A random graph mixing the structures grounding produces: unary biases,
+   multi-body implications with negated literals, all three semantics,
+   some evidence variables. *)
+let random_graph ?(nvars = 12) seed =
+  let rng = Prng.create seed in
+  let g = Graph.create () in
+  let vars = Graph.add_vars g nvars in
+  Array.iter
+    (fun v ->
+      if Prng.bernoulli rng 0.2 then
+        Graph.set_evidence g v (Graph.Evidence (Prng.bool rng));
+      let w = Graph.add_weight g (Prng.float_range rng (-1.0) 1.0) in
+      ignore (Graph.unary g ~weight:w v))
+    vars;
+  for _ = 1 to nvars do
+    let a = Prng.int_below rng nvars and b = Prng.int_below rng nvars in
+    if a <> b then begin
+      let w = Graph.add_weight g (Prng.float_range rng (-1.0) 1.0) in
+      let semantics =
+        Prng.choice rng [| Semantics.Linear; Semantics.Logical; Semantics.Ratio |]
+      in
+      let head = if Prng.bool rng then Some (Prng.int_below rng nvars) else None in
+      ignore
+        (Graph.add_factor g
+           {
+             Graph.head;
+             bodies =
+               [|
+                 [| { Graph.var = a; negated = Prng.bool rng } |];
+                 [| { Graph.var = a; negated = false }; { Graph.var = b; negated = true } |];
+               |];
+             weight_id = w;
+             semantics;
+           })
+    end
+  done;
+  g
+
+(* --- partition --------------------------------------------------------- *)
+
+let test_partition_valid_small () =
+  for seed = 0 to 19 do
+    let g = random_graph seed in
+    match Partition.validate g (Partition.color g) with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "seed %d: %s" seed m
+  done
+
+let test_partition_covers_queries () =
+  let g = random_graph 3 in
+  let p = Partition.color g in
+  let listed = Array.fold_left (fun acc cls -> acc + Array.length cls) 0 p.Partition.classes in
+  Alcotest.(check int) "classes hold exactly the query variables"
+    (List.length (Graph.query_vars g))
+    listed
+
+let test_partition_deterministic () =
+  let g = random_graph 7 in
+  let p1 = Partition.color g and p2 = Partition.color g in
+  Alcotest.(check bool) "identical colors" true (p1.Partition.colors = p2.Partition.colors)
+
+let test_partition_voting_degenerates () =
+  (* All up-votes share one aggregation factor (likewise the down-votes,
+     and q sits in both), so the chromatic number collapses to
+     [max n_up n_down + 1] — each color class holds at most one up and
+     one down vote, the conflict-dense degradation DESIGN.md documents. *)
+  let cfg = { Voting.default with Voting.n_up = 12; n_down = 9 } in
+  let g, _, _, _ = Voting.build cfg in
+  let p = Partition.color g in
+  Alcotest.(check int) "max(n_up, n_down) + 1 colors" 13 p.Partition.num_colors;
+  Alcotest.(check bool) "still valid" true (Partition.validate g p = Ok ())
+
+let test_partition_rejects_corrupt () =
+  let g = random_graph 11 in
+  let p = Partition.color g in
+  (* Force the first two query variables that share a factor onto one
+     color; validate must object. *)
+  let colors = Array.copy p.Partition.colors in
+  let clash = ref None in
+  Graph.iter_factors
+    (fun _ f ->
+      if !clash = None then
+        match List.filter (fun v -> colors.(v) >= 0) (Graph.vars_of_factor f) with
+        | a :: b :: _ when colors.(a) <> colors.(b) -> clash := Some (a, b)
+        | _ -> ())
+    g;
+  match !clash with
+  | None -> () (* no multi-variable factor in this draw; nothing to corrupt *)
+  | Some (a, b) ->
+    colors.(b) <- colors.(a);
+    let corrupt = { p with Partition.colors } in
+    Alcotest.(check bool) "corruption detected" true
+      (match Partition.validate g corrupt with Ok () -> false | Error _ -> true)
+
+let test_slices_cover () =
+  let g = random_graph 5 in
+  let p = Partition.color g in
+  let sliced = Partition.slices p ~domains:3 in
+  Array.iteri
+    (fun c phase ->
+      let merged = Array.concat (Array.to_list phase) in
+      Alcotest.(check bool)
+        (Printf.sprintf "phase %d preserves its class" c)
+        true
+        (merged = p.Partition.classes.(c)))
+    sliced
+
+let partition_qcheck =
+  let open QCheck in
+  [
+    Test.make ~name:"greedy coloring is always valid" ~count:60
+      (pair small_int (int_range 1 30))
+      (fun (seed, nvars) ->
+        let g = random_graph ~nvars seed in
+        Partition.validate g (Partition.color g) = Ok ());
+    Test.make ~name:"slices preserve classes for any domain count" ~count:40
+      (pair small_int (int_range 1 9))
+      (fun (seed, domains) ->
+        let g = random_graph seed in
+        let p = Partition.color g in
+        Array.for_all2
+          (fun phase cls -> Array.concat (Array.to_list phase) = cls)
+          (Partition.slices p ~domains)
+          p.Partition.classes);
+  ]
+
+(* --- pool -------------------------------------------------------------- *)
+
+let test_pool_runs_all_indices () =
+  let pool = Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let hits = Array.make 4 0 in
+      (* Reuse across batches is the whole point: same pool, many runs. *)
+      for _ = 1 to 50 do
+        Pool.run pool (fun d -> hits.(d) <- hits.(d) + 1)
+      done;
+      Alcotest.(check (array int)) "every index ran every batch" (Array.make 4 50) hits)
+
+let test_pool_propagates_exception () =
+  let pool = Pool.create 3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let raised =
+        match Pool.run pool (fun d -> if d = 1 then failwith "worker boom") with
+        | () -> false
+        | exception Failure m -> m = "worker boom"
+      in
+      Alcotest.(check bool) "worker exception re-raised" true raised;
+      (* The pool survives a failed batch. *)
+      let ok = ref 0 in
+      Pool.run pool (fun _ -> incr ok);
+      Alcotest.(check bool) "usable after failure" true (!ok >= 1))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create 2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check bool) "run after shutdown rejected" true
+    (match Pool.run pool (fun _ -> ()) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- par_gibbs: domains = 1 is bit-exact ------------------------------- *)
+
+let test_seq_marginals_bit_identical () =
+  for seed = 0 to 4 do
+    let g = random_graph seed in
+    let a = Par_gibbs.marginals ~burn_in:15 ~domains:1 (Prng.create (50 + seed)) g ~sweeps:80 in
+    let b = Fast_gibbs.marginals ~burn_in:15 (Prng.create (50 + seed)) g ~sweeps:80 in
+    Alcotest.(check bool) (Printf.sprintf "seed %d identical" seed) true (a = b)
+  done
+
+let test_seq_sample_worlds_bit_identical () =
+  let g = random_graph 9 in
+  let a = Par_gibbs.sample_worlds ~burn_in:10 ~domains:1 (Prng.create 60) g ~n:25 in
+  let b = Gibbs.sample_worlds ~burn_in:10 (Prng.create 60) g ~n:25 in
+  Alcotest.(check bool) "identical worlds" true (a = b)
+
+let test_seq_materialize_bit_identical () =
+  (* The engine's default path must not move: materialize with the
+     [domains] argument at 1 equals the historical sequential draw. *)
+  let g = random_graph 13 in
+  let a = (Materialize.materialize ~n_samples:40 ~with_variational:false (Prng.create 61) g).Materialize.samples in
+  let b = Gibbs.sample_worlds ~burn_in:20 (Prng.create 61) g ~n:40 in
+  Alcotest.(check bool) "identical sample store" true (a = b)
+
+(* --- par_gibbs: domains > 1 ------------------------------------------- *)
+
+let test_par_reproducible () =
+  let g = random_graph 21 in
+  let run () = Par_gibbs.marginals ~burn_in:10 ~domains:3 (Prng.create 70) g ~sweeps:60 in
+  Alcotest.(check bool) "same seed, same domains -> identical" true (run () = run ())
+
+let test_par_sample_worlds_shape () =
+  let g = random_graph 22 in
+  let worlds = Par_gibbs.sample_worlds ~burn_in:5 ~domains:3 (Prng.create 71) g ~n:20 in
+  Alcotest.(check int) "n worlds" 20 (Array.length worlds);
+  Array.iter
+    (fun w -> Alcotest.(check int) "width" (Graph.num_vars g) (Array.length w))
+    worlds;
+  (* Evidence variables hold their clamped value in every chain's worlds. *)
+  Array.iter
+    (fun w ->
+      for v = 0 to Graph.num_vars g - 1 do
+        match Graph.evidence_of g v with
+        | Graph.Evidence b -> Alcotest.(check bool) "evidence clamped" b w.(v)
+        | Graph.Query -> ()
+      done)
+    worlds
+
+let test_par_marginals_match_exact () =
+  (* Color-synchronous sweeps sample the same distribution: compare to
+     exact marginals on an enumerable graph. *)
+  let g = random_graph ~nvars:8 2 in
+  let m = Par_gibbs.marginals ~burn_in:100 ~domains:3 (Prng.create 72) g ~sweeps:12_000 in
+  let exact = Exact.marginals g in
+  Alcotest.(check bool) "within 4%" true (Stats.max_abs_diff m exact < 0.04)
+
+let test_chain_marginals_match_exact () =
+  let g = random_graph ~nvars:8 4 in
+  let m = Par_gibbs.chain_marginals ~burn_in:100 ~domains:4 (Prng.create 73) g ~sweeps:4000 in
+  let exact = Exact.marginals g in
+  Alcotest.(check bool) "within 4%" true (Stats.max_abs_diff m exact < 0.04)
+
+let test_par_voting_agrees () =
+  (* The voting aggregation factor degrades the partition to singleton
+     classes (sequential inline execution) — the sampler must stay
+     correct there. *)
+  let cfg = { Voting.default with Voting.n_up = 25; n_down = 18 } in
+  let g, q, _, _ = Voting.build cfg in
+  let exact = Voting.exact_marginal_q cfg in
+  let m = Par_gibbs.marginals ~burn_in:200 ~domains:4 (Prng.create 74) g ~sweeps:8000 in
+  Alcotest.(check bool) "q marginal within 5%" true (abs_float (m.(q) -. exact) < 0.05)
+
+(* --- Fig-KBC agreement (the recovery harness comparators) -------------- *)
+
+let tiny_news =
+  {
+    Dd_kbc.Systems.news with
+    Corpus.docs = 40;
+    entities = 30;
+    truth_pairs_per_relation = 6;
+  }
+
+let test_par_fig_kbc_agreement () =
+  let corpus = Corpus.generate tiny_news in
+  let db = Database.create () in
+  Corpus.load corpus db;
+  let grounding = Grounding.ground db (Pipeline.full_program ()) in
+  let g = Grounding.graph grounding in
+  Dd_inference.Learner.train_cd
+    ~options:{ Dd_inference.Learner.default_cd with Dd_inference.Learner.epochs = 10 }
+    (Prng.create 80) g;
+  let sweeps = 2500 in
+  let seq = Fast_gibbs.marginals ~burn_in:50 (Prng.create 81) g ~sweeps in
+  let par = Par_gibbs.marginals ~burn_in:50 ~domains:3 (Prng.create 81) g ~sweeps in
+  let agreement =
+    Quality.compare_marginals
+      (Grounding.marginals_by_relation grounding par)
+      (Grounding.marginals_by_relation grounding seq)
+  in
+  if agreement.Quality.high_conf_jaccard < 0.8 then
+    Alcotest.failf "high-confidence Jaccard %.3f < 0.8" agreement.Quality.high_conf_jaccard;
+  if agreement.Quality.frac_diff_gt > 0.1 then
+    Alcotest.failf "%.1f%% of tuples differ by > 0.05" (100.0 *. agreement.Quality.frac_diff_gt);
+  if agreement.Quality.max_diff > 0.15 then
+    Alcotest.failf "max marginal difference %.3f > 0.15" agreement.Quality.max_diff
+
+let test_engine_parallel_smoke () =
+  (* End-to-end: an engine configured with parallel_domains > 1
+     materializes through parallel chains and stays numerically sane. *)
+  let corpus = Corpus.generate tiny_news in
+  let db = Database.create () in
+  Corpus.load corpus db;
+  let options =
+    {
+      Engine.default_options with
+      Engine.materialization_samples = 60;
+      inference_chain = 40;
+      initial_learning_epochs = 5;
+      with_variational = false;
+      parallel_domains = 3;
+    }
+  in
+  let engine = Engine.create ~options db (Pipeline.base_program ()) in
+  let mat = Engine.materialization engine in
+  Alcotest.(check int) "sample store filled" 60 (Array.length mat.Materialize.samples);
+  Array.iter
+    (fun m ->
+      Alcotest.(check bool) "marginal in [0,1]" true (m >= 0.0 && m <= 1.0))
+    (Engine.marginals engine)
+
+let () =
+  Alcotest.run "dd_parallel"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "valid on random graphs" `Quick test_partition_valid_small;
+          Alcotest.test_case "covers query variables" `Quick test_partition_covers_queries;
+          Alcotest.test_case "deterministic" `Quick test_partition_deterministic;
+          Alcotest.test_case "voting degenerates to singletons" `Quick
+            test_partition_voting_degenerates;
+          Alcotest.test_case "validator rejects corruption" `Quick test_partition_rejects_corrupt;
+          Alcotest.test_case "slices cover classes" `Quick test_slices_cover;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs all indices, reusable" `Quick test_pool_runs_all_indices;
+          Alcotest.test_case "propagates exceptions" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+        ] );
+      ( "sequential equivalence",
+        [
+          Alcotest.test_case "marginals bit-identical" `Quick test_seq_marginals_bit_identical;
+          Alcotest.test_case "sample worlds bit-identical" `Quick
+            test_seq_sample_worlds_bit_identical;
+          Alcotest.test_case "materialize bit-identical" `Quick test_seq_materialize_bit_identical;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "deterministic per (seed, domains)" `Quick test_par_reproducible;
+          Alcotest.test_case "sample worlds shape + evidence" `Quick test_par_sample_worlds_shape;
+          Alcotest.test_case "marginals vs exact" `Slow test_par_marginals_match_exact;
+          Alcotest.test_case "chain marginals vs exact" `Slow test_chain_marginals_match_exact;
+          Alcotest.test_case "voting graph agrees" `Slow test_par_voting_agrees;
+          Alcotest.test_case "fig-kbc agreement (jaccard/maxdiff)" `Slow
+            test_par_fig_kbc_agreement;
+          Alcotest.test_case "engine smoke with parallel_domains" `Quick
+            test_engine_parallel_smoke;
+        ] );
+      ("partition properties", List.map QCheck_alcotest.to_alcotest partition_qcheck);
+    ]
