@@ -155,3 +155,33 @@ let calibrate_acceptance rng g ~stored ~target =
     done;
     (!lo +. !hi) /. 2.0
   end
+
+(* The Fig-KBC graph shared by the scaling and gibbs-kernel experiments:
+   generate the News corpus, ground the full program, and fit weights
+   briefly so the sweeps sample a realistic posterior. *)
+let fig_kbc_graph ~full =
+  let module Corpus = Dd_kbc.Corpus in
+  let module Systems = Dd_kbc.Systems in
+  let module Pipeline = Dd_kbc.Pipeline in
+  let module Grounding = Dd_core.Grounding in
+  let module Database = Dd_relational.Database in
+  let module Learner = Dd_inference.Learner in
+  let config = Systems.news in
+  let config =
+    if full then
+      {
+        config with
+        Corpus.docs = config.Corpus.docs * 4;
+        entities = config.Corpus.entities * 2;
+      }
+    else config
+  in
+  let corpus = Corpus.generate config in
+  let db = Database.create () in
+  Corpus.load corpus db;
+  let grounding = Grounding.ground db (Pipeline.full_program ()) in
+  let g = Grounding.graph grounding in
+  Learner.train_cd
+    ~options:{ Learner.default_cd with Learner.epochs = 10 }
+    (Prng.create 41) g;
+  g

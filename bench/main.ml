@@ -31,6 +31,7 @@ module _ = Ablations
 module _ = Calibration_bench
 module _ = Fig_recovery
 module _ = Scaling
+module _ = Gibbs_kernel
 
 type cli = { full : bool; list : bool; json : string option; names : string list }
 

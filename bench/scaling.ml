@@ -9,45 +9,15 @@
    speed up, so interpret speedups against that bound). *)
 
 open Harness
-module Corpus = Dd_kbc.Corpus
-module Systems = Dd_kbc.Systems
-module Pipeline = Dd_kbc.Pipeline
-module Grounding = Dd_core.Grounding
-module Database = Dd_relational.Database
 module Graph = Dd_fgraph.Graph
-module Learner = Dd_inference.Learner
 module Fast_gibbs = Dd_inference.Fast_gibbs
 module Par_gibbs = Dd_parallel.Par_gibbs
 module Partition = Dd_parallel.Partition
 module Pool = Dd_parallel.Pool
 module Prng = Dd_util.Prng
 module Stats = Dd_util.Stats
-module Timer = Dd_util.Timer
 
 let domain_counts = [ 1; 2; 4; 8 ]
-
-(* The Fig-KBC graph: generate the News corpus, ground the full program,
-   and fit weights briefly so the sweep samples a realistic posterior. *)
-let fig_kbc_graph ~full =
-  let config = Systems.news in
-  let config =
-    if full then
-      {
-        config with
-        Corpus.docs = config.Corpus.docs * 4;
-        entities = config.Corpus.entities * 2;
-      }
-    else config
-  in
-  let corpus = Corpus.generate config in
-  let db = Database.create () in
-  Corpus.load corpus db;
-  let grounding = Grounding.ground db (Pipeline.full_program ()) in
-  let g = Grounding.graph grounding in
-  Learner.train_cd
-    ~options:{ Learner.default_cd with Learner.epochs = 10 }
-    (Prng.create 41) g;
-  g
 
 let run ~full =
   section "Scaling: domain-parallel Gibbs on the Fig-KBC graph";

@@ -1,7 +1,7 @@
 module Graph = Dd_fgraph.Graph
 module Tuple = Dd_relational.Tuple
 module Database = Dd_relational.Database
-module Gibbs = Dd_inference.Gibbs
+module Compiled = Dd_inference.Compiled
 module Learner = Dd_inference.Learner
 module Metropolis = Dd_inference.Metropolis
 module Par_gibbs = Dd_parallel.Par_gibbs
@@ -76,6 +76,11 @@ type t = {
   extension_origin : (int, int) Hashtbl.t;
   mutable proposals_used : int;
   mutable last_marginals : float array;
+  (* Compiled Gibbs kernel cache: valid as long as the graph's structure
+     (and evidence) has not changed since compilation — weight-only
+     incremental steps just re-sync the dense slots. *)
+  mutable kernel : Compiled.t option;
+  mutable kernel_compiles : int;
 }
 
 let options t = t.opts
@@ -90,6 +95,24 @@ let marginals t = t.last_marginals
 
 let marginals_by_relation t =
   Grounding.marginals_by_relation t.ground t.last_marginals
+
+let kernel_compiles t = t.kernel_compiles
+
+(* Reuse the cached kernel when only weights moved since compile time;
+   [apply_update] drops the cache on any structural or evidence delta,
+   and [matches_structure] re-checks the counts as a belt-and-braces
+   guard against mutation paths that bypass the report. *)
+let compiled_kernel t =
+  let g = graph t in
+  match t.kernel with
+  | Some k when Compiled.matches_structure k g ->
+    Compiled.refresh_weights k;
+    k
+  | _ ->
+    let k = Compiled.compile g in
+    t.kernel <- Some k;
+    t.kernel_compiles <- t.kernel_compiles + 1;
+    k
 
 let cd_options epochs learning_rate =
   { Learner.default_cd with Learner.epochs; learning_rate; chain_sweeps = 2 }
@@ -139,6 +162,8 @@ let create ?(options = default_options) db prog =
       extension_origin = Hashtbl.create 64;
       proposals_used = 0;
       last_marginals = [||];
+      kernel = None;
+      kernel_compiles = 0;
     }
   in
   learn t ~epochs:options.initial_learning_epochs
@@ -162,6 +187,15 @@ let apply_update t update =
      pre-update checkpoint and replay the logged update. *)
   Fault.hit "engine.apply_update.post_ground";
   record_extensions t greport;
+  (* Structure or evidence moved: the compiled kernel is stale.  A
+     weight-only step (incremental learning below) keeps it and merely
+     refreshes the dense weight slots on next use. *)
+  if
+    greport.Grounding.new_vars > 0
+    || greport.Grounding.new_factors > 0
+    || greport.Grounding.extended > 0
+    || greport.Grounding.evidence_changed > 0
+  then t.kernel <- None;
   (* Incremental learning: warmstart is implicit (weights are live). *)
   let needs_learning =
     greport.Grounding.evidence_changed > 0
@@ -243,12 +277,13 @@ let apply_update t update =
     | Optimizer.Sampling | Optimizer.Variational ->
       let m, secs =
         Timer.time (fun () ->
+            let kernel = compiled_kernel t in
             if t.opts.parallel_domains > 1 then
-              Par_gibbs.marginals ~burn_in:t.opts.burn_in
+              Par_gibbs.marginals ~burn_in:t.opts.burn_in ~kernel
                 ~domains:t.opts.parallel_domains t.rng (graph t)
                 ~sweeps:t.opts.inference_chain
             else
-              Gibbs.marginals ~burn_in:t.opts.burn_in t.rng (graph t)
+              Compiled.marginals ~burn_in:t.opts.burn_in t.rng kernel
                 ~sweeps:t.opts.inference_chain)
       in
       (Used_full_gibbs, None, m, secs)
@@ -284,7 +319,9 @@ let rerun ?(options = default_options) db prog =
     if options.parallel_domains > 1 then
       Par_gibbs.marginals ~burn_in:options.burn_in ~domains:options.parallel_domains rng g
         ~sweeps:options.inference_chain
-    else Gibbs.marginals ~burn_in:options.burn_in rng g ~sweeps:options.inference_chain
+    else
+      Compiled.marginals ~burn_in:options.burn_in rng (Compiled.compile g)
+        ~sweeps:options.inference_chain
   in
   (marginals, Timer.elapsed_s timer)
 

@@ -86,6 +86,13 @@ val marginals : t -> float array
 
 val marginals_by_relation : t -> (string * Tuple.t * float) list
 
+val kernel_compiles : t -> int
+(** How many times the engine has compiled a flat Gibbs kernel
+    ({!Dd_inference.Compiled}) for full-Gibbs inference.  Stays flat
+    across weight-only incremental steps — the cached kernel is reused
+    with refreshed weight slots — and grows only when an update changed
+    the graph's structure or evidence. *)
+
 val apply_update : t -> Grounding.update -> report
 
 val rematerialize : t -> float

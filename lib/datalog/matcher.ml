@@ -5,6 +5,14 @@ module Schema = Dd_relational.Schema
 
 type lookup = string -> Relation.t
 
+module StringSet = Set.Make (String)
+
+(* [length_at_least n l] without walking past the [n]th cons cell — the
+   index-or-scan heuristics below only care whether a list clears a small
+   threshold, and deltas/frontiers can be very long. *)
+let rec length_at_least n l =
+  n <= 0 || (match l with [] -> false | _ :: tl -> length_at_least (n - 1) tl)
+
 let empty_relation = Relation.create ~name:"<empty>" (Schema.make [])
 
 (* A binding maps variable slots to values; [None] means unbound.  All
@@ -76,7 +84,8 @@ let match_against_list slots atom tuples rows =
         rows
     in
     let bound = bound_arg_positions slots atom first in
-    if bound = [] || List.length tuples < 8 || List.length rows < 8 then scan tuples rows
+    if bound = [] || not (length_at_least 8 tuples) || not (length_at_least 8 rows) then
+      scan tuples rows
     else begin
       let key_positions = Array.of_list bound in
       let arity = List.length atom.Ast.args in
@@ -302,11 +311,11 @@ let delta_first_order rule delta_pos =
   let vars_of i = Ast.atom_vars (Ast.atom_of_literal literals.(i)) in
   let n = Array.length literals in
   let remaining = ref (List.filter (fun i -> i <> delta_pos) (List.init n (fun i -> i))) in
-  let bound = ref (List.sort_uniq String.compare (vars_of delta_pos)) in
+  let bound = ref (StringSet.of_list (vars_of delta_pos)) in
   let order = ref [ delta_pos ] in
   while !remaining <> [] do
     let score i =
-      List.length (List.filter (fun v -> List.mem v !bound) (vars_of i))
+      List.length (List.filter (fun v -> StringSet.mem v !bound) (vars_of i))
     in
     let best =
       List.fold_left
@@ -320,7 +329,7 @@ let delta_first_order rule delta_pos =
     | Some i ->
       order := i :: !order;
       remaining := List.filter (fun j -> j <> i) !remaining;
-      bound := List.sort_uniq String.compare (vars_of i @ !bound)
+      bound := List.fold_left (fun acc v -> StringSet.add v acc) !bound (vars_of i)
   done;
   List.rev !order
 

@@ -1,0 +1,382 @@
+module Graph = Dd_fgraph.Graph
+module Semantics = Dd_fgraph.Semantics
+module Prng = Dd_util.Prng
+module Stats = Dd_util.Stats
+
+(* Semantics tags, kept as ints so the energy kernel branches on an
+   immediate instead of loading a constructor. *)
+let sem_linear = 0
+let sem_logical = 1
+let sem_ratio = 2
+
+let sem_tag = function
+  | Semantics.Linear -> sem_linear
+  | Semantics.Logical -> sem_logical
+  | Semantics.Ratio -> sem_ratio
+
+(* Must compute exactly what [Semantics.g] computes (bit-exactness with
+   the legacy sampler depends on it). *)
+let g_of tag n =
+  if tag = sem_linear then float_of_int n
+  else if tag = sem_logical then if n > 0 then 1.0 else 0.0
+  else log (1.0 +. float_of_int n)
+
+type t = {
+  graph : Graph.t;
+  nvars : int;
+  nfactors : int;
+  nbodies : int;
+  (* factor-major view *)
+  f_head : int array;  (* -1 = no head *)
+  f_sem : int array;
+  f_weight : int array;
+  f_body_off : int array;  (* nfactors + 1; spans of global body ids *)
+  b_lit_off : int array;  (* nbodies + 1; spans into l_var / l_neg *)
+  l_var : int array;
+  l_neg : Bytes.t;
+  (* variable-major view: var -> factor groups -> body occurrences *)
+  v_grp_off : int array;  (* nvars + 1 *)
+  grp_factor : int array;
+  grp_occ_off : int array;  (* ngroups + 1 *)
+  occ_body : int array;  (* global body id *)
+  occ_neg : Bytes.t;
+  (* dense weight slots *)
+  weights : float array;
+  learnable_active : int array;
+  query : int array;
+}
+
+let graph t = t.graph
+let num_vars t = t.nvars
+let num_factors t = t.nfactors
+let num_weights t = Array.length t.weights
+let num_bodies t = t.nbodies
+let num_query t = Array.length t.query
+let query_vars t = Array.copy t.query
+let learnable_active t = Array.copy t.learnable_active
+
+let refresh_weights t =
+  for w = 0 to Array.length t.weights - 1 do
+    t.weights.(w) <- Graph.weight_value t.graph w
+  done
+
+let count_bodies g =
+  let n = ref 0 in
+  Graph.iter_factors (fun _ f -> n := !n + Array.length f.Graph.bodies) g;
+  !n
+
+let matches_structure t g =
+  t.nvars = Graph.num_vars g
+  && t.nfactors = Graph.num_factors g
+  && Array.length t.weights = Graph.num_weights g
+  && t.nbodies = count_bodies g
+
+let bool_byte b = if b then '\001' else '\000'
+
+let compile g =
+  let nvars = Graph.num_vars g in
+  let nfactors = Graph.num_factors g in
+  let nweights = Graph.num_weights g in
+  (* Pass 1: factor-major sizes. *)
+  let nbodies = count_bodies g in
+  let nlits = ref 0 in
+  Graph.iter_factors
+    (fun _ f ->
+      Array.iter (fun body -> nlits := !nlits + Array.length body) f.Graph.bodies)
+    g;
+  let nlits = !nlits in
+  let f_head = Array.make nfactors (-1) in
+  let f_sem = Array.make nfactors 0 in
+  let f_weight = Array.make nfactors 0 in
+  let f_body_off = Array.make (nfactors + 1) 0 in
+  let b_lit_off = Array.make (nbodies + 1) 0 in
+  let l_var = Array.make (max 1 nlits) 0 in
+  let l_neg = Bytes.make (max 1 nlits) '\000' in
+  (* [stamp.(v)] remembers the last global body id that mentioned [v],
+     catching within-body repeats in O(1) per literal. *)
+  let stamp = Array.make (max 1 nvars) (-1) in
+  let bid = ref 0 and lid = ref 0 in
+  Graph.iter_factors
+    (fun fid f ->
+      (match f.Graph.head with Some h -> f_head.(fid) <- h | None -> ());
+      f_sem.(fid) <- sem_tag f.Graph.semantics;
+      f_weight.(fid) <- f.Graph.weight_id;
+      f_body_off.(fid) <- !bid;
+      Array.iter
+        (fun body ->
+          b_lit_off.(!bid) <- !lid;
+          Array.iter
+            (fun l ->
+              if stamp.(l.Graph.var) = !bid then
+                invalid_arg "Compiled.compile: variable repeated within a body";
+              stamp.(l.Graph.var) <- !bid;
+              l_var.(!lid) <- l.Graph.var;
+              Bytes.set l_neg !lid (bool_byte l.Graph.negated);
+              incr lid)
+            body;
+          incr bid)
+        f.Graph.bodies)
+    g;
+  f_body_off.(nfactors) <- !bid;
+  b_lit_off.(nbodies) <- !lid;
+  (* Pass 2: variable-major group counts.  Factors are visited in
+     ascending id order, so each variable's groups come out ascending;
+     [last_fid.(v)] collapses the head and every body occurrence of one
+     factor into a single group. *)
+  let last_fid = Array.make (max 1 nvars) (-1) in
+  let grp_count = Array.make (max 1 nvars) 0 in
+  let touch v fid = if last_fid.(v) <> fid then begin last_fid.(v) <- fid; grp_count.(v) <- grp_count.(v) + 1 end in
+  let iter_factor_vars fid =
+    let h = f_head.(fid) in
+    if h >= 0 then touch h fid;
+    for b = f_body_off.(fid) to f_body_off.(fid + 1) - 1 do
+      for l = b_lit_off.(b) to b_lit_off.(b + 1) - 1 do
+        touch l_var.(l) fid
+      done
+    done
+  in
+  for fid = 0 to nfactors - 1 do
+    iter_factor_vars fid
+  done;
+  let v_grp_off = Array.make (nvars + 1) 0 in
+  for v = 0 to nvars - 1 do
+    v_grp_off.(v + 1) <- v_grp_off.(v) + grp_count.(v)
+  done;
+  let ngroups = v_grp_off.(nvars) in
+  let grp_factor = Array.make (max 1 ngroups) 0 in
+  let grp_cnt = Array.make (max 1 ngroups) 0 in
+  (* Pass 3: assign group slots and count occurrences per group. *)
+  Array.fill last_fid 0 (Array.length last_fid) (-1);
+  let grp_cursor = Array.make (max 1 nvars) 0 in
+  let current_grp = Array.make (max 1 nvars) (-1) in
+  let group_of v fid =
+    if last_fid.(v) <> fid then begin
+      last_fid.(v) <- fid;
+      let slot = v_grp_off.(v) + grp_cursor.(v) in
+      grp_cursor.(v) <- grp_cursor.(v) + 1;
+      grp_factor.(slot) <- fid;
+      current_grp.(v) <- slot
+    end;
+    current_grp.(v)
+  in
+  for fid = 0 to nfactors - 1 do
+    let h = f_head.(fid) in
+    if h >= 0 then ignore (group_of h fid);
+    for b = f_body_off.(fid) to f_body_off.(fid + 1) - 1 do
+      for l = b_lit_off.(b) to b_lit_off.(b + 1) - 1 do
+        let grp = group_of l_var.(l) fid in
+        grp_cnt.(grp) <- grp_cnt.(grp) + 1
+      done
+    done
+  done;
+  let grp_occ_off = Array.make (ngroups + 1) 0 in
+  for grp = 0 to ngroups - 1 do
+    grp_occ_off.(grp + 1) <- grp_occ_off.(grp) + grp_cnt.(grp)
+  done;
+  let nocc = grp_occ_off.(ngroups) in
+  let occ_body = Array.make (max 1 nocc) 0 in
+  let occ_neg = Bytes.make (max 1 nocc) '\000' in
+  (* Pass 4: fill occurrences. *)
+  Array.fill last_fid 0 (Array.length last_fid) (-1);
+  Array.fill grp_cursor 0 (Array.length grp_cursor) 0;
+  let occ_cursor = Array.make (max 1 ngroups) 0 in
+  for fid = 0 to nfactors - 1 do
+    let h = f_head.(fid) in
+    if h >= 0 then ignore (group_of h fid);
+    for b = f_body_off.(fid) to f_body_off.(fid + 1) - 1 do
+      for l = b_lit_off.(b) to b_lit_off.(b + 1) - 1 do
+        let grp = group_of l_var.(l) fid in
+        let o = grp_occ_off.(grp) + occ_cursor.(grp) in
+        occ_cursor.(grp) <- occ_cursor.(grp) + 1;
+        occ_body.(o) <- b;
+        Bytes.set occ_neg o (Bytes.get l_neg l)
+      done
+    done
+  done;
+  let weights = Array.init nweights (Graph.weight_value g) in
+  let factor_counts = Array.make (max 1 nweights) 0 in
+  for fid = 0 to nfactors - 1 do
+    factor_counts.(f_weight.(fid)) <- factor_counts.(f_weight.(fid)) + 1
+  done;
+  let learnable_active = ref [] in
+  for w = nweights - 1 downto 0 do
+    if Graph.weight_learnable g w && factor_counts.(w) > 0 then
+      learnable_active := w :: !learnable_active
+  done;
+  let query = Array.of_list (Graph.query_vars g) in
+  {
+    graph = g;
+    nvars;
+    nfactors;
+    nbodies;
+    f_head;
+    f_sem;
+    f_weight;
+    f_body_off;
+    b_lit_off;
+    l_var;
+    l_neg;
+    v_grp_off;
+    grp_factor;
+    grp_occ_off;
+    occ_body;
+    occ_neg;
+    weights;
+    learnable_active = Array.of_list !learnable_active;
+    query;
+  }
+
+(* --- state -------------------------------------------------------------- *)
+
+type state = {
+  k : t;
+  assign : Bytes.t;  (* one byte per variable: '\000' false, '\001' true *)
+  unsat : int array;  (* per global body: unsatisfied-literal count *)
+  sat : int array;  (* per factor: satisfied-body count *)
+}
+
+let kernel st = st.k
+
+let value st v = Bytes.unsafe_get st.assign v <> '\000'
+
+let snapshot st = Array.init st.k.nvars (fun v -> value st v)
+
+let accumulate_true st totals =
+  for v = 0 to st.k.nvars - 1 do
+    if Bytes.unsafe_get st.assign v <> '\000' then totals.(v) <- totals.(v) + 1
+  done
+
+let make_state ?init rng k =
+  let init =
+    match init with
+    | Some a ->
+      if Array.length a <> k.nvars then
+        invalid_arg "Compiled.make_state: assignment size mismatch";
+      a
+    | None -> Gibbs.init_assignment rng k.graph
+  in
+  let assign = Bytes.init k.nvars (fun v -> bool_byte init.(v)) in
+  let unsat = Array.make (max 1 k.nbodies) 0 in
+  let sat = Array.make (max 1 k.nfactors) 0 in
+  for fid = 0 to k.nfactors - 1 do
+    for b = k.f_body_off.(fid) to k.f_body_off.(fid + 1) - 1 do
+      let u = ref 0 in
+      for l = k.b_lit_off.(b) to k.b_lit_off.(b + 1) - 1 do
+        let sat_lit = init.(k.l_var.(l)) <> (Bytes.get k.l_neg l <> '\000') in
+        if not sat_lit then incr u
+      done;
+      unsat.(b) <- !u;
+      if !u = 0 then sat.(fid) <- sat.(fid) + 1
+    done
+  done;
+  { k; assign; unsat; sat }
+
+(* Satisfied-body count of a group's factor under a hypothetical value
+   for [v], accumulated tail-recursively so the hot loop allocates
+   nothing.  A literal of [v] is satisfied under hypothetical [x] iff
+   [x <> neg], i.e. iff [neg = neg_sat] with [neg_sat = not x].  The
+   counts are integers, so their accumulation order is irrelevant for
+   bit-exactness with the legacy sampler. *)
+let rec n_under k st v_cur neg_sat o last n =
+  if o > last then n
+  else begin
+    let b = Array.unsafe_get k.occ_body o in
+    let neg = Bytes.unsafe_get k.occ_neg o <> '\000' in
+    let u = Array.unsafe_get st.unsat b in
+    (* others_sat: every literal of the body except v's is satisfied. *)
+    let lit_sat_now = v_cur <> neg in
+    let others_sat = u = (if lit_sat_now then 0 else 1) in
+    let sat_x = others_sat && neg = neg_sat in
+    let n =
+      if u = 0 then if sat_x then n else n - 1
+      else if sat_x then n + 1
+      else n
+    in
+    n_under k st v_cur neg_sat (o + 1) last n
+  end
+
+let conditional_true_prob st v =
+  let k = st.k in
+  let v_cur = Bytes.unsafe_get st.assign v <> '\000' in
+  let delta = ref 0.0 in
+  for grp = Array.unsafe_get k.v_grp_off v to Array.unsafe_get k.v_grp_off (v + 1) - 1 do
+    let fid = Array.unsafe_get k.grp_factor grp in
+    let base = Array.unsafe_get st.sat fid in
+    let o0 = Array.unsafe_get k.grp_occ_off grp in
+    let o1 = Array.unsafe_get k.grp_occ_off (grp + 1) - 1 in
+    let n_true = n_under k st v_cur false o0 o1 base in
+    let n_false = n_under k st v_cur true o0 o1 base in
+    let w = Array.unsafe_get k.weights (Array.unsafe_get k.f_weight fid) in
+    let sem = Array.unsafe_get k.f_sem fid in
+    let h = Array.unsafe_get k.f_head fid in
+    (* The float expression mirrors the legacy sampler's
+       [w *. sign *. g(sem, n)] and [acc +. e_true -. e_false] exactly,
+       keeping the two paths bit-identical. *)
+    let sign_true =
+      if h < 0 || h = v then 1.0
+      else if Bytes.unsafe_get st.assign h <> '\000' then 1.0
+      else -1.0
+    in
+    let sign_false = if h < 0 then 1.0 else if h = v then -1.0 else sign_true in
+    delta := !delta +. (w *. sign_true *. g_of sem n_true) -. (w *. sign_false *. g_of sem n_false)
+  done;
+  Stats.sigmoid !delta
+
+let set_value st v x =
+  if value st v <> x then begin
+    Bytes.unsafe_set st.assign v (bool_byte x);
+    let k = st.k in
+    for grp = k.v_grp_off.(v) to k.v_grp_off.(v + 1) - 1 do
+      let fid = Array.unsafe_get k.grp_factor grp in
+      for o = k.grp_occ_off.(grp) to k.grp_occ_off.(grp + 1) - 1 do
+        let b = Array.unsafe_get k.occ_body o in
+        let lit_sat = x <> (Bytes.unsafe_get k.occ_neg o <> '\000') in
+        let before = Array.unsafe_get st.unsat b in
+        let after = if lit_sat then before - 1 else before + 1 in
+        Array.unsafe_set st.unsat b after;
+        if before = 0 && after > 0 then st.sat.(fid) <- st.sat.(fid) - 1
+        else if before > 0 && after = 0 then st.sat.(fid) <- st.sat.(fid) + 1
+      done
+    done
+  end
+
+let resample_var rng st v = set_value st v (Prng.bernoulli rng (conditional_true_prob st v))
+
+let sweep rng st =
+  let q = st.k.query in
+  for i = 0 to Array.length q - 1 do
+    resample_var rng st (Array.unsafe_get q i)
+  done
+
+let sweep_all rng st =
+  for v = 0 to st.k.nvars - 1 do
+    resample_var rng st v
+  done
+
+let sweep_slice rng st slice =
+  for i = 0 to Array.length slice - 1 do
+    resample_var rng st (Array.unsafe_get slice i)
+  done
+
+let marginals ?(burn_in = 10) rng k ~sweeps =
+  let st = make_state rng k in
+  for _ = 1 to burn_in do
+    sweep rng st
+  done;
+  let totals = Array.make k.nvars 0 in
+  for _ = 1 to sweeps do
+    sweep rng st;
+    accumulate_true st totals
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int (max 1 sweeps)) totals
+
+let add_feature_counts st ~scale grad =
+  let k = st.k in
+  for fid = 0 to k.nfactors - 1 do
+    let w = k.f_weight.(fid) in
+    if Graph.weight_learnable k.graph w then begin
+      let h = k.f_head.(fid) in
+      let sign = if h < 0 || Bytes.unsafe_get st.assign h <> '\000' then 1.0 else -1.0 in
+      grad.(w) <- grad.(w) +. (scale *. sign *. g_of k.f_sem.(fid) st.sat.(fid))
+    end
+  done

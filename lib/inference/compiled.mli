@@ -1,0 +1,138 @@
+(** Compiled flat factor-graph kernel (CSR layout) for Gibbs sampling.
+
+    {!Dd_fgraph.Graph.t} is a pointer-rich structure: factors are records
+    of literal-record arrays, adjacency is an int list per variable, and
+    weights live behind a growable vector.  Sampling over it chases
+    pointers and, in the pre-compiled sampler, allocated a fresh hash
+    table per conditional.  This module compiles a graph {e once} into
+    immutable flat int/float arrays — the layout DimmWitted-style
+    main-memory engines use — so that the two hot operations of Gibbs
+    sampling, a conditional-probability evaluation and an assignment
+    update, run over contiguous arrays with no per-sample heap
+    allocation beyond a couple of boxed floats.
+
+    Two views of the same graph are laid out side by side:
+
+    - {b factor-major} (used to seed counters and read gradients):
+      [factor -> bodies -> literals] as two nested CSR levels
+      ([f_body_off], [b_lit_off]) over flat [l_var]/[l_neg] arrays,
+      plus per-factor head / semantics-tag / weight-slot arrays.
+    - {b variable-major} (used by conditionals and updates):
+      [variable -> factor groups -> body occurrences]
+      ([v_grp_off], [grp_occ_off]) where each group names one adjacent
+      factor (including factors that only mention the variable as head,
+      with an empty occurrence span) in ascending factor order.
+
+    Weight {e values} are copied into a dense float array at compile
+    time; {!refresh_weights} re-reads them from the graph, which is the
+    cheap "recompile" path when learning moved weights but the structure
+    did not change.  A packed query-variable array replaces the
+    per-variable evidence branch of the legacy sweep.
+
+    Determinism contract: for a given [(seed, graph)], {!sweep} draws
+    from the PRNG in exactly the order and count of the legacy
+    {!Fast_gibbs} sweep (ascending variable id over query variables, one
+    Bernoulli draw each), and the conditional probability is computed
+    with bit-identical floating-point operations to the legacy grouped
+    path, so trajectories agree bit-for-bit per seed (asserted by
+    tests). *)
+
+module Graph = Dd_fgraph.Graph
+
+type t
+(** Immutable compiled kernel.  Snapshots the graph's structure and
+    weight values; weights can be re-synced with {!refresh_weights},
+    but after adding variables, factors or bodies a new kernel must be
+    compiled (see {!matches_structure}). *)
+
+type state
+(** Mutable sampling state over a kernel: the current assignment (one
+    byte per variable) plus per-body unsatisfied-literal counts and
+    per-factor satisfied-body counts. *)
+
+val compile : Graph.t -> t
+(** One-shot compilation.  Raises [Invalid_argument] if a factor body
+    mentions the same variable twice (never produced by grounding). *)
+
+val graph : t -> Graph.t
+(** The source graph (shared, not copied). *)
+
+val refresh_weights : t -> unit
+(** Re-read every compiled weight slot's value from the graph.  O(number
+    of weights); the incremental "recompile" used after learning steps
+    and weight-only engine updates. *)
+
+val matches_structure : t -> Graph.t -> bool
+(** Cheap structural fingerprint check: true iff [g] still has the same
+    variable / factor / weight / body counts as at compile time, i.e.
+    the kernel can be reused after {!refresh_weights}.  (Evidence
+    changes are not detected — callers that flip evidence must
+    recompile.) *)
+
+val num_vars : t -> int
+val num_factors : t -> int
+val num_weights : t -> int
+val num_bodies : t -> int
+val num_query : t -> int
+
+val query_vars : t -> int array
+(** Packed query-variable ids, ascending.  Fresh copy. *)
+
+val learnable_active : t -> int array
+(** Weight slots that are learnable {e and} attached to at least one
+    factor, ascending.  Fresh copy. *)
+
+(** {1 Sampling state} *)
+
+val make_state : ?init:bool array -> Dd_util.Prng.t -> t -> state
+(** Build counters for an initial assignment.  [init] defaults to
+    {!Gibbs.init_assignment} (consuming the PRNG identically); raises
+    [Invalid_argument] on a size mismatch. *)
+
+val kernel : state -> t
+
+val value : state -> Graph.var -> bool
+(** Current value of one variable. *)
+
+val snapshot : state -> bool array
+(** Fresh copy of the current assignment. *)
+
+val accumulate_true : state -> int array -> unit
+(** [accumulate_true st totals] increments [totals.(v)] for every
+    variable currently true — the marginal-counting inner loop, without
+    materializing a [bool array] per sweep. *)
+
+val conditional_true_prob : state -> Graph.var -> float
+(** P(v = true | rest), from cached counters; allocation-free except
+    for boxed-float accumulation. *)
+
+val set_value : state -> Graph.var -> bool -> unit
+(** Write one variable and incrementally maintain the unsat / sat
+    counters (no-op when the value is unchanged). *)
+
+val resample_var : Dd_util.Prng.t -> state -> Graph.var -> unit
+
+val sweep : Dd_util.Prng.t -> state -> unit
+(** One pass over the packed query variables, ascending. *)
+
+val sweep_all : Dd_util.Prng.t -> state -> unit
+(** Resample {e every} variable, evidence included — the negative-chain
+    sweep of contrastive-divergence learning. *)
+
+val sweep_slice : Dd_util.Prng.t -> state -> Graph.var array -> unit
+(** Resample the given variables in order with one PRNG stream.  Used
+    by the domain-parallel sampler on color slices: variables of one
+    color share no factor, so concurrent slices touch disjoint counter
+    and assignment cells. *)
+
+val marginals : ?burn_in:int -> Dd_util.Prng.t -> t -> sweeps:int -> float array
+(** Fresh-state marginals; drop-in for {!Fast_gibbs.marginals}. *)
+
+(** {1 Learning support} *)
+
+val add_feature_counts : state -> scale:float -> float array -> unit
+(** For every factor whose weight slot is learnable, add
+    [scale * sign(head) * g(semantics, satisfied bodies)] — the energy
+    gradient of that weight in the state's current world — into the
+    dense [grad] array (indexed by weight slot).  Reads the live
+    satisfied-body counters: no per-factor recomputation. *)

@@ -5,26 +5,43 @@ module Stats = Dd_util.Stats
 
 (* One occurrence of a variable inside a factor body. *)
 type occurrence = {
-  factor : int;
   body : int;
   negated : bool;
 }
 
-type t = {
+(* A variable's occurrences inside one adjacent factor (possibly none,
+   when the variable is only the factor's head).  Grouping is done once
+   at [create_legacy] time — the historical implementation rebuilt this
+   grouping in a fresh [Hashtbl] on every conditional evaluation. *)
+type group = {
+  factor : int;
+  occs : occurrence array;
+}
+
+type legacy = {
   graph : Graph.t;
   assignment : bool array;
   (* Per factor, per body: number of unsatisfied literals. *)
   unsat : int array array;
   (* Per factor: number of satisfied bodies (n of Equation 1). *)
   sat : int array;
-  (* Per variable: body occurrences and factors where it is the head. *)
-  occurrences : occurrence list array;
-  head_of : int list array;
+  (* Per variable: adjacent factors in ascending id order. *)
+  groups : group array array;
 }
 
-let assignment t = t.assignment
+(* The compiled path is the default: the same sampler over the flat CSR
+   kernel of {!Compiled}.  The legacy structure-of-lists path is kept as
+   an explicit constructor for ablation benchmarks and as the reference
+   in bit-exactness tests. *)
+type t =
+  | Fast of Compiled.state
+  | Legacy of legacy
 
 let create ?init rng g =
+  let k = Compiled.compile g in
+  Fast (Compiled.make_state ?init rng k)
+
+let create_legacy ?init rng g =
   let assignment = match init with Some a -> Array.copy a | None -> Gibbs.init_assignment rng g in
   let nvars = Graph.num_vars g in
   if Array.length assignment <> nvars then
@@ -49,7 +66,7 @@ let create ?init rng g =
                   invalid_arg "Fast_gibbs.create: variable repeated within a body";
                 Hashtbl.replace seen l.Graph.var ();
                 occurrences.(l.Graph.var) <-
-                  { factor = fid; body = body_idx; negated = l.Graph.negated }
+                  (fid, { body = body_idx; negated = l.Graph.negated })
                   :: occurrences.(l.Graph.var))
               body;
             Array.fold_left
@@ -61,15 +78,42 @@ let create ?init rng g =
       unsat.(fid) <- counts;
       sat.(fid) <- Array.fold_left (fun acc c -> if c = 0 then acc + 1 else acc) 0 counts)
     g;
-  { graph = g; assignment; unsat; sat; occurrences; head_of }
+  (* Group each variable's occurrences by factor (ascending), merging in
+     the factors where it appears only as head. *)
+  let groups =
+    Array.mapi
+      (fun v occs ->
+        let by_factor = Hashtbl.create 8 in
+        List.iter
+          (fun (fid, occ) ->
+            let existing = try Hashtbl.find by_factor fid with Not_found -> [] in
+            Hashtbl.replace by_factor fid (occ :: existing))
+          occs;
+        List.iter
+          (fun fid -> if not (Hashtbl.mem by_factor fid) then Hashtbl.replace by_factor fid [])
+          head_of.(v);
+        let fids = Hashtbl.fold (fun fid _ acc -> fid :: acc) by_factor [] in
+        let fids = List.sort_uniq compare fids in
+        Array.of_list
+          (List.map
+             (fun fid -> { factor = fid; occs = Array.of_list (Hashtbl.find by_factor fid) })
+             fids))
+      occurrences
+  in
+  Legacy { graph = g; assignment; unsat; sat; groups }
 
-(* Energy of factor [fid] as a function of a hypothetical value [x] for
-   [v], using only cached counts and [v]'s occurrences in it. *)
-let factor_energy_with t fid ~v ~x ~occ_in_factor =
+let assignment = function
+  | Fast st -> Compiled.snapshot st
+  | Legacy t -> t.assignment
+
+(* Energy of factor [grp.factor] as a function of a hypothetical value
+   [x] for [v], using only cached counts and [v]'s occurrences in it. *)
+let factor_energy_with t grp ~v ~x =
+  let fid = grp.factor in
   let f = Graph.factor t.graph fid in
   (* Satisfied-body count with v's bodies re-evaluated under x. *)
   let n = ref t.sat.(fid) in
-  List.iter
+  Array.iter
     (fun occ ->
       let currently_sat = t.unsat.(fid).(occ.body) = 0 in
       let lit_sat_now = t.assignment.(v) <> occ.negated in
@@ -77,7 +121,7 @@ let factor_energy_with t fid ~v ~x ~occ_in_factor =
       let sat_under_x = unsat_others = 0 && x <> occ.negated in
       if currently_sat && not sat_under_x then decr n
       else if (not currently_sat) && sat_under_x then incr n)
-    occ_in_factor;
+    grp.occs;
   let sign =
     match f.Graph.head with
     | None -> 1.0
@@ -85,65 +129,58 @@ let factor_energy_with t fid ~v ~x ~occ_in_factor =
   in
   Graph.weight_value t.graph f.Graph.weight_id *. sign *. Semantics.g f.Graph.semantics !n
 
-let conditional_true_prob t v =
-  (* Group v's occurrences by factor, then add head-only factors. *)
-  let by_factor = Hashtbl.create 8 in
-  List.iter
-    (fun occ ->
-      let existing = try Hashtbl.find by_factor occ.factor with Not_found -> [] in
-      Hashtbl.replace by_factor occ.factor (occ :: existing))
-    t.occurrences.(v);
-  List.iter
-    (fun fid -> if not (Hashtbl.mem by_factor fid) then Hashtbl.replace by_factor fid [])
-    t.head_of.(v);
+let legacy_conditional_true_prob t v =
   let delta = ref 0.0 in
-  Hashtbl.iter
-    (fun fid occ_in_factor ->
-      delta :=
-        !delta
-        +. factor_energy_with t fid ~v ~x:true ~occ_in_factor
-        -. factor_energy_with t fid ~v ~x:false ~occ_in_factor)
-    by_factor;
+  Array.iter
+    (fun grp ->
+      let e_true = factor_energy_with t grp ~v ~x:true in
+      let e_false = factor_energy_with t grp ~v ~x:false in
+      delta := !delta +. e_true -. e_false)
+    t.groups.(v);
   Stats.sigmoid !delta
 
-let set_value t v value =
+let conditional_true_prob t v =
+  match t with
+  | Fast st -> Compiled.conditional_true_prob st v
+  | Legacy t -> legacy_conditional_true_prob t v
+
+let legacy_set_value t v value =
   if t.assignment.(v) <> value then begin
     t.assignment.(v) <- value;
-    List.iter
-      (fun occ ->
-        let lit_sat = value <> occ.negated in
-        let counts = t.unsat.(occ.factor) in
-        let before = counts.(occ.body) in
-        let after = if lit_sat then before - 1 else before + 1 in
-        counts.(occ.body) <- after;
-        if before = 0 && after > 0 then t.sat.(occ.factor) <- t.sat.(occ.factor) - 1
-        else if before > 0 && after = 0 then t.sat.(occ.factor) <- t.sat.(occ.factor) + 1)
-      t.occurrences.(v)
+    Array.iter
+      (fun grp ->
+        let counts = t.unsat.(grp.factor) in
+        Array.iter
+          (fun occ ->
+            let lit_sat = value <> occ.negated in
+            let before = counts.(occ.body) in
+            let after = if lit_sat then before - 1 else before + 1 in
+            counts.(occ.body) <- after;
+            if before = 0 && after > 0 then t.sat.(grp.factor) <- t.sat.(grp.factor) - 1
+            else if before > 0 && after = 0 then t.sat.(grp.factor) <- t.sat.(grp.factor) + 1)
+          grp.occs)
+      t.groups.(v)
   end
+
+let set_value t v value =
+  match t with
+  | Fast st -> Compiled.set_value st v value
+  | Legacy t -> legacy_set_value t v value
 
 let resample_var rng t v = set_value t v (Prng.bernoulli rng (conditional_true_prob t v))
 
 let sweep rng t =
-  for v = 0 to Graph.num_vars t.graph - 1 do
-    match Graph.evidence_of t.graph v with
-    | Graph.Query -> resample_var rng t v
-    | Graph.Evidence _ -> ()
-  done
+  match t with
+  | Fast st -> Compiled.sweep rng st
+  | Legacy l ->
+    for v = 0 to Graph.num_vars l.graph - 1 do
+      match Graph.evidence_of l.graph v with
+      | Graph.Query -> resample_var rng t v
+      | Graph.Evidence _ -> ()
+    done
 
 let marginals ?(burn_in = 10) rng g ~sweeps =
-  let t = create rng g in
-  for _ = 1 to burn_in do
-    sweep rng t
-  done;
-  let n = Graph.num_vars g in
-  let totals = Array.make n 0 in
-  for _ = 1 to sweeps do
-    sweep rng t;
-    for v = 0 to n - 1 do
-      if t.assignment.(v) then totals.(v) <- totals.(v) + 1
-    done
-  done;
-  Array.map (fun c -> float_of_int c /. float_of_int (max 1 sweeps)) totals
+  Compiled.marginals ~burn_in rng (Compiled.compile g) ~sweeps
 
 let sample_worlds ?(burn_in = 10) ?(spacing = 1) rng g ~n =
   let t = create rng g in
@@ -154,17 +191,18 @@ let sample_worlds ?(burn_in = 10) ?(spacing = 1) rng g ~n =
       for _ = 1 to spacing do
         sweep rng t
       done;
-      Array.copy t.assignment)
+      assignment t)
 
 let sweeps_to_converge ?(tolerance = 0.01) ?(max_sweeps = 100_000) ?(check_every = 10) rng g
     ~target_var ~target_prob =
-  let t = create rng g in
+  let k = Compiled.compile g in
+  let st = Compiled.make_state rng k in
   let trues = ref 0 and total = ref 0 in
   let converged_at = ref None in
   (try
      for i = 1 to max_sweeps do
-       sweep rng t;
-       if t.assignment.(target_var) then incr trues;
+       Compiled.sweep rng st;
+       if Compiled.value st target_var then incr trues;
        incr total;
        if i mod check_every = 0 then begin
          let estimate = float_of_int !trues /. float_of_int !total in

@@ -11,9 +11,17 @@
     high-throughput Gibbs engines such as DimmWitted (the sampler DeepDive
     ships), reproduced here as both an optimization and an ablation subject.
 
+    Since the compiled-kernel PR this module is a thin wrapper: {!create}
+    compiles the graph into the flat CSR kernel of {!Compiled} and samples
+    over contiguous arrays.  {!create_legacy} builds the historical
+    pointer-based state (occurrence records grouped by factor once at
+    construction time), kept as the baseline for the [gibbs-kernel]
+    benchmark and the bit-exactness tests — both paths draw bit-identical
+    sample sequences from the same seed.
+
     Sampling is distribution-identical to {!Gibbs} given the same random
-    stream: conditionals agree bit-for-bit (see the equivalence property
-    tests).
+    stream: conditionals agree to floating-point reassociation (see the
+    equivalence property tests).
 
     The state snapshots the graph's *structure*; weights may keep changing
     (learning), but after adding variables or factors a new sampler must be
@@ -24,15 +32,25 @@ module Graph = Dd_fgraph.Graph
 type t
 
 val create : ?init:bool array -> Dd_util.Prng.t -> Graph.t -> t
-(** Build the cached state.  [init] defaults to {!Gibbs.init_assignment}.
-    Raises [Invalid_argument] if a factor body mentions the same variable
-    twice (never produced by grounding). *)
+(** Build the compiled sampler state.  [init] defaults to
+    {!Gibbs.init_assignment}.  Raises [Invalid_argument] if a factor body
+    mentions the same variable twice (never produced by grounding). *)
+
+val create_legacy : ?init:bool array -> Dd_util.Prng.t -> Graph.t -> t
+(** The pre-compiled pointer-chasing state — same sample sequence per
+    seed as {!create}, kept for ablation benchmarks. *)
 
 val assignment : t -> bool array
-(** The live assignment (mutated by sweeps; do not write directly). *)
+(** The current assignment.  For a {!create_legacy} state this is the
+    live array (mutated by sweeps; do not write); for the default
+    compiled state it is a fresh snapshot of the packed byte
+    assignment. *)
 
 val conditional_true_prob : t -> Graph.var -> float
 (** Same value {!Gibbs.conditional_true_prob} would return. *)
+
+val set_value : t -> Graph.var -> bool -> unit
+(** Write one variable, maintaining the cached counts. *)
 
 val resample_var : Dd_util.Prng.t -> t -> Graph.var -> unit
 
@@ -54,4 +72,4 @@ val sweeps_to_converge :
   target_var:Graph.var ->
   target_prob:float ->
   int option
-(** As {!Gibbs.sweeps_to_converge}, on the cached sampler. *)
+(** As {!Gibbs.sweeps_to_converge}, on the compiled sampler. *)

@@ -37,40 +37,40 @@ type cd_options = {
 let default_cd =
   { epochs = 50; learning_rate = 0.1; decay = 0.05; l2 = 0.0001; chain_sweeps = 2 }
 
-let sweep_all_vars rng g assignment =
-  for v = 0 to Graph.num_vars g - 1 do
-    Gibbs.resample_var rng g assignment v
-  done
-
 let train_cd ?(options = default_cd) ?(on_epoch = fun _ _ -> ()) rng g =
-  (* Persistent chains: the positive chain keeps evidence clamped (the
-     default sweep), the negative chain floats every variable. *)
-  let positive = Gibbs.init_assignment rng g in
-  let negative = Gibbs.init_assignment rng g in
+  (* Persistent chains over one compiled kernel: the positive chain keeps
+     evidence clamped (the default sweep), the negative chain floats every
+     variable.  Gradients come straight off the kernel's live
+     satisfied-body counters into a dense per-weight-slot array, and each
+     weight step re-syncs the kernel with [Compiled.refresh_weights]
+     instead of regrounding or rebuilding any structure. *)
+  let kernel = Compiled.compile g in
+  let positive = Compiled.make_state rng kernel in
+  let negative = Compiled.make_state rng kernel in
+  let learnable = Compiled.learnable_active kernel in
+  let gradient = Array.make (Graph.num_weights g) 0.0 in
   for epoch = 0 to options.epochs - 1 do
     (* Crash mid-training = weights partially stepped; recovery discards
        them with the rest of the in-memory state. *)
     Dd_util.Fault.hit "learner.train_cd.epoch";
     for _ = 1 to options.chain_sweeps do
-      Gibbs.sweep rng g positive;
-      sweep_all_vars rng g negative
+      Compiled.sweep rng positive;
+      Compiled.sweep_all rng negative
     done;
     let lr = options.learning_rate /. (1.0 +. (options.decay *. float_of_int epoch)) in
-    let pos = feature_counts g positive in
-    let neg = feature_counts g negative in
-    let gradient : (Graph.weight_id, float) Hashtbl.t = Hashtbl.create 16 in
-    List.iter (fun (w, v) -> Hashtbl.replace gradient w v) pos;
-    List.iter
-      (fun (w, v) ->
-        let prev = try Hashtbl.find gradient w with Not_found -> 0.0 in
-        Hashtbl.replace gradient w (prev -. v))
-      neg;
-    Hashtbl.iter
-      (fun w dv ->
+    Array.fill gradient 0 (Array.length gradient) 0.0;
+    Compiled.add_feature_counts positive ~scale:1.0 gradient;
+    Compiled.add_feature_counts negative ~scale:(-1.0) gradient;
+    Array.iter
+      (fun w ->
         let current = Graph.weight_value g w in
-        Graph.set_weight g w (current +. (lr *. (dv -. (options.l2 *. current)))))
-      gradient;
-    on_epoch epoch g
+        Graph.set_weight g w (current +. (lr *. (gradient.(w) -. (options.l2 *. current)))))
+      learnable;
+    on_epoch epoch g;
+    (* After both the step and the callback (which may also touch
+       weights): the kernel's dense slots track the graph again before
+       the next epoch samples. *)
+    Compiled.refresh_weights kernel
   done
 
 let pseudo_log_likelihood ?(worlds = 5) rng g =

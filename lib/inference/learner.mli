@@ -35,7 +35,11 @@ val train_cd :
   Dd_util.Prng.t ->
   Graph.t ->
   unit
-(** Mutates the graph's learnable weights in place. *)
+(** Mutates the graph's learnable weights in place.  Both persistent
+    chains run on one {!Compiled} kernel; per-epoch gradients are read
+    off its live satisfied-body counters into dense weight slots, and
+    each step re-syncs the kernel via {!Compiled.refresh_weights}
+    (weights only — no regrounding, no structural rebuild). *)
 
 val pseudo_log_likelihood : ?worlds:int -> Dd_util.Prng.t -> Graph.t -> float
 (** Average log conditional probability of each evidence variable's label

@@ -1,6 +1,7 @@
 module Graph = Dd_fgraph.Graph
 module Gibbs = Dd_inference.Gibbs
 module Fast_gibbs = Dd_inference.Fast_gibbs
+module Compiled = Dd_inference.Compiled
 module Prng = Dd_util.Prng
 
 type parallel = {
@@ -15,16 +16,24 @@ type mode =
   | Sequential of Prng.t  (** [domains = 1]: byte-for-byte Fast_gibbs *)
   | Parallel of parallel
 
-type t = { state : Fast_gibbs.t; mode : mode; domains : int }
+type t = { state : Compiled.state; mode : mode; domains : int }
 
-let create ?init ?pool ~domains rng g =
+let create ?init ?pool ?kernel ~domains rng g =
   if domains < 1 then invalid_arg "Par_gibbs.create: domains must be >= 1";
-  let state = Fast_gibbs.create ?init rng g in
+  let kernel =
+    match kernel with
+    | Some k ->
+      if not (Compiled.matches_structure k g) then
+        invalid_arg "Par_gibbs.create: compiled kernel does not match the graph";
+      k
+    | None -> Compiled.compile g
+  in
+  let state = Compiled.make_state ?init rng kernel in
   if domains = 1 then { state; mode = Sequential rng; domains }
   else begin
     let partition = Partition.color g in
     let plan = Partition.slices partition ~domains in
-    (* Splitting after [Fast_gibbs.create] keeps the initial assignment
+    (* Splitting after [Compiled.make_state] keeps the initial assignment
        identical to the sequential sampler's for the same seed. *)
     let rngs = Array.init domains (fun _ -> Prng.split rng) in
     let pool, owns_pool =
@@ -42,7 +51,7 @@ let create ?init ?pool ~domains rng g =
     }
   end
 
-let assignment t = Fast_gibbs.assignment t.state
+let assignment t = Compiled.snapshot t.state
 
 let domains t = t.domains
 
@@ -63,15 +72,14 @@ let run_phase state p phase =
     phase;
   if !busy = 1 then
     let d = !last in
-    Array.iter (fun v -> Fast_gibbs.resample_var p.rngs.(d) state v) phase.(d)
+    Compiled.sweep_slice p.rngs.(d) state phase.(d)
   else if !busy > 1 then
     Pool.run p.pool (fun d ->
-        if d < Array.length phase then
-          Array.iter (fun v -> Fast_gibbs.resample_var p.rngs.(d) state v) phase.(d))
+        if d < Array.length phase then Compiled.sweep_slice p.rngs.(d) state phase.(d))
 
 let sweep t =
   match t.mode with
-  | Sequential rng -> Fast_gibbs.sweep rng t.state
+  | Sequential rng -> Compiled.sweep rng t.state
   | Parallel p -> Array.iter (run_phase t.state p) p.plan
 
 let shutdown t =
@@ -79,27 +87,21 @@ let shutdown t =
   | Sequential _ -> ()
   | Parallel p -> if p.owns_pool then Pool.shutdown p.pool
 
-let marginals ?(burn_in = 10) ~domains rng g ~sweeps =
-  if domains = 1 then Fast_gibbs.marginals ~burn_in rng g ~sweeps
-  else begin
-    let t = create ~domains rng g in
-    Fun.protect
-      ~finally:(fun () -> shutdown t)
-      (fun () ->
-        for _ = 1 to burn_in do
-          sweep t
-        done;
-        let n = Graph.num_vars g in
-        let totals = Array.make n 0 in
-        for _ = 1 to sweeps do
-          sweep t;
-          let a = Fast_gibbs.assignment t.state in
-          for v = 0 to n - 1 do
-            if a.(v) then totals.(v) <- totals.(v) + 1
-          done
-        done;
-        Array.map (fun c -> float_of_int c /. float_of_int (max 1 sweeps)) totals)
-  end
+let marginals ?(burn_in = 10) ?kernel ~domains rng g ~sweeps =
+  let t = create ?kernel ~domains rng g in
+  Fun.protect
+    ~finally:(fun () -> shutdown t)
+    (fun () ->
+      for _ = 1 to burn_in do
+        sweep t
+      done;
+      let n = Graph.num_vars g in
+      let totals = Array.make n 0 in
+      for _ = 1 to sweeps do
+        sweep t;
+        Compiled.accumulate_true t.state totals
+      done;
+      Array.map (fun c -> float_of_int c /. float_of_int (max 1 sweeps)) totals)
 
 (* Deterministic near-equal split of [n] across [chains]. *)
 let share n chains c = (n * (c + 1) / chains) - (n * c / chains)

@@ -6,7 +6,8 @@
     - {b Color-synchronous sweeps} (one chain, many domains): a sweep
       visits the {!Partition} color classes in order; within a class the
       variables are split into per-domain slices and resampled
-      concurrently on the shared {!Dd_inference.Fast_gibbs} state.
+      concurrently on the shared {!Dd_inference.Compiled} kernel state
+      (flat CSR arrays — each slice walks contiguous occurrence spans).
       Variables of one color share no factor, so concurrent updates
       touch disjoint cached counts and disjoint assignment cells; the
       pool barrier between classes publishes them.
@@ -29,15 +30,25 @@ module Graph = Dd_fgraph.Graph
 
 type t
 
-val create : ?init:bool array -> ?pool:Pool.t -> domains:int -> Dd_util.Prng.t -> Graph.t -> t
-(** Build the sampler state: the cached {!Dd_inference.Fast_gibbs}
-    counts, and — when [domains > 1] — the graph partition, one split
-    PRNG stream per domain, and a worker pool ([?pool] lends an existing
-    one, which must have [size >= domains]; otherwise a pool is spawned
-    and owned).  Raises [Invalid_argument] when [domains < 1]. *)
+val create :
+  ?init:bool array ->
+  ?pool:Pool.t ->
+  ?kernel:Dd_inference.Compiled.t ->
+  domains:int ->
+  Dd_util.Prng.t ->
+  Graph.t ->
+  t
+(** Build the sampler state: the compiled {!Dd_inference.Compiled}
+    kernel counters, and — when [domains > 1] — the graph partition, one
+    split PRNG stream per domain, and a worker pool ([?pool] lends an
+    existing one, which must have [size >= domains]; otherwise a pool is
+    spawned and owned).  [?kernel] lends an already-compiled kernel for
+    the same graph (the engine's cache across weight-only incremental
+    steps); it must satisfy {!Dd_inference.Compiled.matches_structure}.
+    Raises [Invalid_argument] when [domains < 1]. *)
 
 val assignment : t -> bool array
-(** The live assignment (do not write). *)
+(** Fresh snapshot of the current assignment. *)
 
 val domains : t -> int
 
@@ -57,10 +68,17 @@ val shutdown : t -> unit
 (** Release the worker pool if this sampler owns one.  Idempotent; the
     sampler must not be swept afterwards. *)
 
-val marginals : ?burn_in:int -> domains:int -> Dd_util.Prng.t -> Graph.t -> sweeps:int -> float array
+val marginals :
+  ?burn_in:int ->
+  ?kernel:Dd_inference.Compiled.t ->
+  domains:int ->
+  Dd_util.Prng.t ->
+  Graph.t ->
+  sweeps:int ->
+  float array
 (** Single-chain marginals by color-synchronous sweeps.  Drop-in for
     {!Dd_inference.Fast_gibbs.marginals} (and bit-identical to it when
-    [domains = 1]). *)
+    [domains = 1]).  [?kernel] as in {!create}. *)
 
 val sample_worlds :
   ?burn_in:int -> ?spacing:int -> domains:int -> Dd_util.Prng.t -> Graph.t -> n:int -> bool array array

@@ -1,0 +1,339 @@
+(* Tests for the compiled flat (CSR) factor-graph kernel: bit-exactness
+   against the legacy pointer-chasing sampler per (seed, graph), agreement
+   with exact marginals, refresh_weights-vs-recompile equivalence, dense
+   gradient agreement with the legacy feature counter, and the engine's
+   kernel cache across incremental steps. *)
+
+module Value = Dd_relational.Value
+module Schema = Dd_relational.Schema
+module Database = Dd_relational.Database
+module Ast = Dd_datalog.Ast
+module Dred = Dd_datalog.Dred
+module Graph = Dd_fgraph.Graph
+module Semantics = Dd_fgraph.Semantics
+module Exact = Dd_fgraph.Exact
+module Voting = Dd_fgraph.Voting
+module Gibbs = Dd_inference.Gibbs
+module Compiled = Dd_inference.Compiled
+module Fast_gibbs = Dd_inference.Fast_gibbs
+module Learner = Dd_inference.Learner
+module Program = Dd_core.Program
+module Grounding = Dd_core.Grounding
+module Engine = Dd_core.Engine
+module Prng = Dd_util.Prng
+module Stats = Dd_util.Stats
+
+(* Random mixed graphs: unary biases on every variable plus multi-body
+   factors with random heads, negation, and semantics — the same shape as
+   the Fast_gibbs equivalence tests, parameterized by seed. *)
+let mixed_graph ?(learnable = false) seed =
+  let rng = Prng.create seed in
+  let g = Graph.create () in
+  let n = 6 + Prng.int_below rng 5 in
+  let vars = Graph.add_vars g n in
+  Graph.set_evidence g vars.(n - 1) (Graph.Evidence (Prng.bool rng));
+  Array.iter
+    (fun v ->
+      let l = learnable && Prng.bool rng in
+      let w = Graph.add_weight ~learnable:l g (Prng.float_range rng (-1.0) 1.0) in
+      ignore (Graph.unary g ~weight:w v))
+    vars;
+  for _ = 1 to 4 + Prng.int_below rng 5 do
+    let a = Prng.int_below rng n and b = Prng.int_below rng n in
+    if a <> b then begin
+      let l = learnable && Prng.bool rng in
+      let w = Graph.add_weight ~learnable:l g (Prng.float_range rng (-1.0) 1.0) in
+      let semantics = Prng.choice rng [| Semantics.Linear; Semantics.Logical; Semantics.Ratio |] in
+      let head = if Prng.bool rng then Some (Prng.int_below rng n) else None in
+      let negated = Prng.bool rng in
+      ignore
+        (Graph.add_factor g
+           {
+             Graph.head;
+             bodies =
+               [|
+                 [| { Graph.var = a; negated } |];
+                 [| { Graph.var = a; negated = false }; { Graph.var = b; negated = true } |];
+               |];
+             weight_id = w;
+             semantics;
+           })
+    end
+  done;
+  g
+
+(* --- bit-exactness vs the legacy sampler --------------------------------------- *)
+
+let trajectories_identical seed =
+  let g = mixed_graph seed in
+  let init = Gibbs.init_assignment (Prng.create (1000 + seed)) g in
+  let compiled = Fast_gibbs.create ~init (Prng.create 1) g in
+  let legacy = Fast_gibbs.create_legacy ~init:(Array.copy init) (Prng.create 1) g in
+  let rng_c = Prng.create (2000 + seed) and rng_l = Prng.create (2000 + seed) in
+  let ok = ref true in
+  for _ = 1 to 30 do
+    Fast_gibbs.sweep rng_c compiled;
+    Fast_gibbs.sweep rng_l legacy;
+    if Fast_gibbs.assignment compiled <> Fast_gibbs.assignment legacy then ok := false
+  done;
+  (* Conditionals must also be bit-identical floats, not merely close. *)
+  for v = 0 to Graph.num_vars g - 1 do
+    if Fast_gibbs.conditional_true_prob compiled v
+       <> Fast_gibbs.conditional_true_prob legacy v
+    then ok := false
+  done;
+  !ok
+
+let test_bit_exact_vs_legacy () =
+  for seed = 0 to 24 do
+    if not (trajectories_identical seed) then
+      Alcotest.failf "seed %d: compiled and legacy samplers diverged" seed
+  done
+
+let test_same_rng_consumption () =
+  (* Both samplers must draw the same count from their stream: after the
+     same number of sweeps, identical clones of a third RNG stay in step. *)
+  let g = mixed_graph 5 in
+  let init = Gibbs.init_assignment (Prng.create 3) g in
+  let rng_c = Prng.create 77 and rng_l = Prng.create 77 in
+  let compiled = Fast_gibbs.create ~init rng_c g in
+  let legacy = Fast_gibbs.create_legacy ~init:(Array.copy init) rng_l g in
+  for _ = 1 to 10 do
+    Fast_gibbs.sweep rng_c compiled;
+    Fast_gibbs.sweep rng_l legacy
+  done;
+  Alcotest.(check bool) "streams in step" true (Prng.bool rng_c = Prng.bool rng_l)
+
+(* --- agreement with exact marginals -------------------------------------------- *)
+
+let test_marginals_match_exact_mixed () =
+  let g = mixed_graph 3 in
+  let kernel = Compiled.compile g in
+  let m = Compiled.marginals ~burn_in:100 (Prng.create 10) kernel ~sweeps:20_000 in
+  let exact = Exact.marginals g in
+  Alcotest.(check bool) "within 3%" true (Stats.max_abs_diff m exact < 0.03)
+
+let test_marginals_match_exact_voting () =
+  (* The Example 2.5 voting graph: the compiled sampler's estimate of
+     P(q) must match the closed-form counting answer. *)
+  let cfg =
+    {
+      Voting.n_up = 6;
+      n_down = 4;
+      rule_weight = 0.8;
+      unary_up = 0.2;
+      unary_down = -0.1;
+      semantics = Semantics.Logical;
+    }
+  in
+  let g, q, _, _ = Voting.build cfg in
+  let kernel = Compiled.compile g in
+  let m = Compiled.marginals ~burn_in:200 (Prng.create 11) kernel ~sweeps:30_000 in
+  let exact = Voting.exact_marginal_q cfg in
+  Alcotest.(check (float 0.03)) "P(q)" exact m.(q)
+
+(* --- refresh_weights vs full recompile ----------------------------------------- *)
+
+let test_refresh_weights_equiv_recompile () =
+  let g = mixed_graph 7 in
+  let kernel = Compiled.compile g in
+  (* Move every weight after compilation, as learning would. *)
+  let rng = Prng.create 21 in
+  for w = 0 to Graph.num_weights g - 1 do
+    Graph.set_weight g w (Prng.float_range rng (-1.5) 1.5)
+  done;
+  Compiled.refresh_weights kernel;
+  let fresh = Compiled.compile g in
+  let init = Gibbs.init_assignment (Prng.create 4) g in
+  let st_refreshed = Compiled.make_state ~init (Prng.create 5) kernel in
+  let st_fresh = Compiled.make_state ~init:(Array.copy init) (Prng.create 5) fresh in
+  for v = 0 to Graph.num_vars g - 1 do
+    let a = Compiled.conditional_true_prob st_refreshed v in
+    let b = Compiled.conditional_true_prob st_fresh v in
+    if a <> b then Alcotest.failf "var %d: refreshed %.17g fresh %.17g" v a b
+  done;
+  let rng_a = Prng.create 6 and rng_b = Prng.create 6 in
+  for _ = 1 to 20 do
+    Compiled.sweep rng_a st_refreshed;
+    Compiled.sweep rng_b st_fresh
+  done;
+  Alcotest.(check bool) "same trajectory" true
+    (Compiled.snapshot st_refreshed = Compiled.snapshot st_fresh)
+
+let test_matches_structure () =
+  let g = mixed_graph 2 in
+  let kernel = Compiled.compile g in
+  Alcotest.(check bool) "fresh" true (Compiled.matches_structure kernel g);
+  Graph.set_weight g 0 5.0;
+  Alcotest.(check bool) "weight change ok" true (Compiled.matches_structure kernel g);
+  let v = Graph.add_var g in
+  Alcotest.(check bool) "new var detected" false (Compiled.matches_structure kernel g);
+  let kernel2 = Compiled.compile g in
+  let w = Graph.add_weight g 1.0 in
+  ignore (Graph.unary g ~weight:w v);
+  Alcotest.(check bool) "new factor detected" false (Compiled.matches_structure kernel2 g)
+
+let test_compile_rejects_duplicate_literal () =
+  let g = Graph.create () in
+  let v = Graph.add_var g in
+  let w = Graph.add_weight g 1.0 in
+  ignore
+    (Graph.add_factor g
+       {
+         Graph.head = None;
+         bodies = [| [| { Graph.var = v; negated = false }; { Graph.var = v; negated = true } |] |];
+         weight_id = w;
+         semantics = Semantics.Linear;
+       });
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Compiled.compile: variable repeated within a body")
+    (fun () -> ignore (Compiled.compile g))
+
+(* --- dense gradients vs the legacy feature counter ----------------------------- *)
+
+let test_add_feature_counts_matches_legacy () =
+  for seed = 0 to 9 do
+    let g = mixed_graph ~learnable:true seed in
+    let nw = Graph.num_weights g in
+    let kernel = Compiled.compile g in
+    let init = Gibbs.init_assignment (Prng.create (300 + seed)) g in
+    let st = Compiled.make_state ~init (Prng.create 1) kernel in
+    let dense = Array.make nw 0.0 in
+    Compiled.add_feature_counts st ~scale:1.0 dense;
+    let reference = Learner.feature_counts g init in
+    List.iter
+      (fun (w, expected) ->
+        if abs_float (dense.(w) -. expected) > 1e-9 then
+          Alcotest.failf "seed %d weight %d: dense %.12f legacy %.12f" seed w dense.(w) expected)
+      reference;
+    (* Slots absent from the legacy list must be zero in the dense array. *)
+    Array.iteri
+      (fun w v ->
+        if (not (List.mem_assoc w reference)) && v <> 0.0 then
+          Alcotest.failf "seed %d weight %d: spurious gradient %.12f" seed w v)
+      dense
+  done
+
+(* --- engine kernel cache -------------------------------------------------------- *)
+
+let s = Value.str
+let v name = Ast.Var name
+let atom = Ast.atom
+
+let item_schema = Schema.make [ ("item", Value.TStr); ("feature", Value.TStr) ]
+let label_schema = Schema.make [ ("item", Value.TStr); ("lbl", Value.TBool) ]
+let query_schema = Schema.make [ ("item", Value.TStr) ]
+
+let classifier_rule =
+  Program.Infer
+    {
+      Program.name = "classify";
+      head = atom "is_pos" [ v "x" ];
+      body = [ Ast.Pos (atom "item_feature" [ v "x"; v "f" ]) ];
+      guards = [];
+      weight = Program.Tied [ v "f" ];
+      semantics = Semantics.Linear;
+      populate_head = true;
+    }
+
+let supervision_rule =
+  Program.Supervise
+    ( "labels",
+      Ast.rule
+        (atom "is_pos_ev" [ v "x"; v "l" ])
+        [ Ast.Pos (atom "label_src" [ v "x"; v "l" ]) ] )
+
+let engine_fixture () =
+  let db = Database.create () in
+  ignore (Database.create_table db "item_feature" item_schema);
+  ignore (Database.create_table db "label_src" label_schema);
+  List.iter
+    (fun (item, feature) -> Database.insert_rows db "item_feature" [ [| s item; s feature |] ])
+    [ ("a", "f1"); ("b", "f1"); ("c", "f2"); ("d", "f2") ];
+  Database.insert_rows db "label_src" [ [| s "a"; Value.Bool true |] ];
+  let prog =
+    {
+      Program.input_schemas = [ ("item_feature", item_schema); ("label_src", label_schema) ];
+      query_relations = [ ("is_pos", query_schema) ];
+      rules = [ classifier_rule; supervision_rule ];
+    }
+  in
+  (db, prog)
+
+let full_gibbs_options =
+  {
+    Engine.default_options with
+    Engine.materialization_samples = 20;
+    inference_chain = 30;
+    burn_in = 5;
+    initial_learning_epochs = 5;
+    incremental_learning_epochs = 1;
+    (* Force the full-Gibbs fallback so every update exercises the
+       compiled-kernel path. *)
+    disable_sampling = true;
+    with_variational = false;
+  }
+
+let test_engine_reuses_kernel () =
+  let db, prog = engine_fixture () in
+  let engine = Engine.create ~options:full_gibbs_options db prog in
+  Alcotest.(check int) "no compile yet" 0 (Engine.kernel_compiles engine);
+  let r1 = Engine.apply_update engine (Grounding.rules_update []) in
+  Alcotest.(check string) "full gibbs" "full-gibbs" (Engine.strategy_used_to_string r1.Engine.strategy);
+  Alcotest.(check int) "first compile" 1 (Engine.kernel_compiles engine);
+  (* Weight-only steps (no structural or evidence change) reuse the kernel. *)
+  ignore (Engine.apply_update engine (Grounding.rules_update []));
+  ignore (Engine.apply_update engine (Grounding.rules_update []));
+  Alcotest.(check int) "cache reused" 1 (Engine.kernel_compiles engine);
+  (* A data update that grows the graph must recompile. *)
+  let delta = Dred.Delta.create () in
+  Dred.Delta.insert delta "item_feature" [| s "e"; s "f1" |];
+  let r2 = Engine.apply_update engine (Grounding.data_update delta) in
+  Alcotest.(check bool) "graph grew" true (r2.Engine.grounding.Grounding.new_vars > 0);
+  Alcotest.(check int) "recompiled" 2 (Engine.kernel_compiles engine);
+  ignore (Engine.apply_update engine (Grounding.rules_update []));
+  Alcotest.(check int) "reused again" 2 (Engine.kernel_compiles engine)
+
+(* --- qcheck -------------------------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"compiled sampler bit-exact with legacy per seed" ~count:50 small_int
+      trajectories_identical;
+    Test.make ~name:"compiled conditionals match plain Gibbs" ~count:50 small_int (fun seed ->
+        let g = mixed_graph seed in
+        let a = Gibbs.init_assignment (Prng.create (500 + seed)) g in
+        let st = Compiled.make_state ~init:a (Prng.create 1) (Compiled.compile g) in
+        let ok = ref true in
+        for v = 0 to Graph.num_vars g - 1 do
+          if abs_float (Gibbs.conditional_true_prob g a v -. Compiled.conditional_true_prob st v)
+             > 1e-9
+          then ok := false
+        done;
+        !ok);
+  ]
+
+let () =
+  Alcotest.run "dd_compiled"
+    [
+      ( "bit-exact",
+        [
+          Alcotest.test_case "trajectories vs legacy" `Quick test_bit_exact_vs_legacy;
+          Alcotest.test_case "rng consumption" `Quick test_same_rng_consumption;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "mixed graph" `Slow test_marginals_match_exact_mixed;
+          Alcotest.test_case "voting graph" `Slow test_marginals_match_exact_voting;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "refresh_weights = recompile" `Quick test_refresh_weights_equiv_recompile;
+          Alcotest.test_case "matches_structure" `Quick test_matches_structure;
+          Alcotest.test_case "duplicate literal" `Quick test_compile_rejects_duplicate_literal;
+          Alcotest.test_case "dense gradients" `Quick test_add_feature_counts_matches_legacy;
+        ] );
+      ("engine", [ Alcotest.test_case "kernel cache" `Quick test_engine_reuses_kernel ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
