@@ -160,4 +160,4 @@ let grounding_bench ~full =
 let () =
   register "fig16" "Figure 16: incremental learning" fig16;
   register "fig17" "Figure 17: concept drift" fig17;
-  register "grounding" "Incremental grounding speedup" grounding_bench
+  register "incr_grounding" "Incremental grounding speedup" grounding_bench

@@ -32,6 +32,7 @@ module _ = Calibration_bench
 module _ = Fig_recovery
 module _ = Scaling
 module _ = Gibbs_kernel
+module _ = Grounding_bench
 
 type cli = { full : bool; list : bool; json : string option; names : string list }
 

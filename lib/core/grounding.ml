@@ -6,7 +6,7 @@ module Relation = Dd_relational.Relation
 module Database = Dd_relational.Database
 module Ast = Dd_datalog.Ast
 module Engine = Dd_datalog.Engine
-module Matcher = Dd_datalog.Matcher
+module Plan = Dd_datalog.Plan
 module Dred = Dd_datalog.Dred
 module Metropolis = Dd_inference.Metropolis
 
@@ -19,6 +19,7 @@ type t = {
   weight_table : (string, Graph.weight_id) Hashtbl.t;
   weight_names : (Graph.weight_id, string) Hashtbl.t;
   factor_table : (string, int) Hashtbl.t;  (* factor-group key -> factor id *)
+  plans : Plan.Cache.t;  (* compiled join plans, shared across incremental steps *)
 }
 
 type stats = {
@@ -237,7 +238,8 @@ let ground db prog =
     (fun (name, schema) ->
       if not (Database.mem db name) then ignore (Database.create_table db name schema))
     (prog.Program.input_schemas @ prog.Program.query_relations);
-  Engine.run_exn db (Program.deterministic_program prog);
+  let plans = Plan.Cache.create () in
+  Engine.run_exn ~plans db (Program.deterministic_program prog);
   let t =
     {
       db;
@@ -248,6 +250,7 @@ let ground db prog =
       weight_table = Hashtbl.create 64;
       weight_names = Hashtbl.create 64;
       factor_table = Hashtbl.create 1024;
+      plans;
     }
   in
   (* One variable per query tuple, with evidence labels. *)
@@ -262,12 +265,14 @@ let ground db prog =
             apply_evidence_to_var t pred tuple v)
           rel)
     prog.Program.query_relations;
-  (* Ground the inference rules. *)
-  let lookup = Engine.lookup_in db in
+  (* Ground the inference rules through compiled plans. *)
+  let lookup = Plan.view_of_lookup (Engine.lookup_in db) in
   List.iter
     (fun r ->
       let pending = Hashtbl.create 256 in
-      let envs = Matcher.eval_rule_bindings ~lookup (inference_rule_ast r) in
+      let envs =
+        Plan.run_bindings (Plan.Cache.full t.plans (inference_rule_ast r)) ~lookup
+      in
       List.iter (fun env -> add_grounding t pending r env) envs;
       ignore (flush_groups t pending))
     (Program.inference_rules prog);
@@ -317,36 +322,22 @@ let extend t update =
   | Ok () -> ()
   | Error e -> invalid_arg ("Grounding.extend: " ^ e));
   let full_program = Program.deterministic_program new_prog in
-  (* Predicates whose pre-update state the staged factor grounding needs:
-     anything an existing inference rule reads. *)
   let old_inference = Program.inference_rules old_prog in
-  let body_preds =
-    List.sort_uniq String.compare
-      (List.concat_map
-         (fun r -> List.map (fun l -> (Ast.atom_of_literal l).Ast.pred) r.Program.body)
-         old_inference)
-  in
-  let snapshots = Hashtbl.create 16 in
-  List.iter
-    (fun pred ->
-      match Database.find_opt t.db pred with
-      | Some rel -> Hashtbl.replace snapshots pred (Relation.copy rel)
-      | None -> ())
-    body_preds;
   (* Evaluate new rules against the pre-update state to seed DRed. *)
   let lookup = Engine.lookup_in t.db in
+  let view_lookup = Plan.view_of_lookup lookup in
   let seeds =
     List.concat_map
       (fun rule ->
         List.map
-          (fun ast -> (Ast.head_pred ast, Matcher.eval_rule ~lookup ast))
+          (fun ast -> (Ast.head_pred ast, Plan.run (Plan.Cache.full t.plans ast) ~lookup:view_lookup))
           (datalog_of_rule rule))
       update.new_rules
   in
-  phase "snapshots+seeds";
+  phase "seeds";
   let edb = match update.edb with Some d -> d | None -> Dred.Delta.create () in
   let flips =
-    match Dred.apply ~seeds t.db full_program edb with
+    match Dred.apply ~plans:t.plans ~seeds t.db full_program edb with
     | Ok f -> f
     | Error e -> invalid_arg ("Grounding.extend: " ^ e)
   in
@@ -409,13 +400,38 @@ let extend t update =
         touched)
     new_prog.Program.query_relations;
   phase "vars+evidence";
-  (* Staged grounding of existing inference rules over the flips. *)
+  (* Staged grounding of existing inference rules over the flips.  The
+     pre-update state of every predicate is a snapshot-free [Plan.Patched]
+     view reconstructed from the net membership flips DRed reported — the
+     old [Relation.copy] of every inference-rule body predicate is gone. *)
   let needs_rebuild = ref false in
   let pending = Hashtbl.create 64 in
+  let after_views : (string, Plan.view) Hashtbl.t = Hashtbl.create 16 in
   let after_lookup pred =
-    match Hashtbl.find_opt snapshots pred with
-    | Some rel -> rel
-    | None -> lookup pred
+    match Hashtbl.find_opt after_views pred with
+    | Some v -> v
+    | None ->
+      let v =
+        match Dred.Delta.flips flips pred with
+        | [] -> Plan.whole (lookup pred)
+        | pred_flips ->
+          (* Net sign per tuple: a delete-then-rederive sequence cancels. *)
+          let net = Tuple.Hashtbl.create 16 in
+          List.iter
+            (fun (tuple, sign) ->
+              let cur = try Tuple.Hashtbl.find net tuple with Not_found -> 0 in
+              Tuple.Hashtbl.replace net tuple (cur + sign))
+            pred_flips;
+          let minus = Tuple.Hashtbl.create 8 and plus = Tuple.Hashtbl.create 8 in
+          Tuple.Hashtbl.iter
+            (fun tuple sign ->
+              if sign > 0 then Tuple.Hashtbl.replace minus tuple ()
+              else if sign < 0 then Tuple.Hashtbl.replace plus tuple ())
+            net;
+          Plan.patched ~base:(lookup pred) ~minus ~plus
+      in
+      Hashtbl.replace after_views pred v;
+      v
   in
   List.iter
     (fun r ->
@@ -431,8 +447,9 @@ let extend t update =
               else List.map (fun (tup, s) -> (tup, -s)) pred_flips
             in
             let groundings =
-              Matcher.eval_rule_bindings_staged ~before:lookup ~after:after_lookup
-                ~delta_pos:pos ~delta ast
+              Plan.run_bindings_staged
+                (Plan.Cache.delta t.plans ast ~delta_pos:pos)
+                ~before:view_lookup ~after:after_lookup ~delta
             in
             List.iter
               (fun (env, count) ->
@@ -464,7 +481,11 @@ let extend t update =
   List.iter
     (function
       | Program.Infer r ->
-        let envs = Matcher.eval_rule_bindings ~lookup (inference_rule_ast r) in
+        let envs =
+          Plan.run_bindings
+            (Plan.Cache.full t.plans (inference_rule_ast r))
+            ~lookup:view_lookup
+        in
         List.iter (fun env -> add_grounding t pending r env) envs
       | Program.Deterministic _ | Program.Supervise _ -> ())
     update.new_rules;

@@ -41,6 +41,8 @@ val term_vars : term -> string list
 
 val atom_vars : atom -> string list
 
+val guard_vars : guard -> string list
+
 val rule_vars : rule -> string list
 (** All variables appearing anywhere in the rule. *)
 

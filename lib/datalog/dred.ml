@@ -93,7 +93,12 @@ let diff_relations old_rel new_rel =
     old_rel;
   (!entries, !flips)
 
-let apply ?(seeds = []) db program changes =
+let apply ?plans ?(seeds = []) db program changes =
+  let plans =
+    match plans with
+    | Some c -> c
+    | None -> Plan.Cache.create ()
+  in
   let ( let* ) = Result.bind in
   let* strata = Stratify.stratify program in
   let idb = Ast.idb_preds program in
@@ -177,6 +182,7 @@ let apply ?(seeds = []) db program changes =
       if entries <> [] then push { pred; entries; pre = None; level = level_of pred })
     seeds;
   let current_lookup = Engine.lookup_in db in
+  let current_view pred = Plan.whole (current_lookup pred) in
   let consume b =
     let consume_start = Unix.gettimeofday () in
     let rel =
@@ -191,7 +197,7 @@ let apply ?(seeds = []) db program changes =
         in
         Engine.ensure_table db b.pred sample
     in
-    let old_rel, flips =
+    let old_view, flips =
       match b.pre with
       | Some pre ->
         (* Already applied; flips derivable from entries vs pre. *)
@@ -205,17 +211,26 @@ let apply ?(seeds = []) db program changes =
               else None)
             b.entries
         in
-        (pre, flips)
+        (Plan.whole pre, flips)
       | None ->
-        let pre = Relation.copy rel in
+        (* Apply the entries first, then present the prior state as a
+           snapshot-free view: the live relation minus the tuples this batch
+           flipped in, plus the tuples it flipped out.  Views feed membership
+           only, so set semantics suffice — no [Relation.copy]. *)
         let flips = apply_entries rel b.entries in
-        (pre, flips)
+        let minus = Tuple.Hashtbl.create 8 and plus = Tuple.Hashtbl.create 8 in
+        List.iter
+          (fun (tuple, sign) ->
+            if sign > 0 then Tuple.Hashtbl.replace minus tuple ()
+            else Tuple.Hashtbl.replace plus tuple ())
+          flips;
+        (Plan.patched ~base:rel ~minus ~plus, flips)
     in
     if flips <> [] then begin
       List.iter (fun (tuple, sign) -> Delta.add_signed result b.pred tuple sign) flips;
       let except = match b.pre with Some _ -> b.level | None -> -1 in
       mark_dirty_recursive ~except b.pred;
-      let old_lookup pred = if pred = b.pred then old_rel else current_lookup pred in
+      let old_lookup pred = if pred = b.pred then old_view else current_view pred in
       (* Signed delta pass over every non-recursive rule reading [pred]. *)
       let contributions : (string, (Tuple.t * int) list ref) Hashtbl.t = Hashtbl.create 8 in
       List.iter
@@ -225,8 +240,9 @@ let apply ?(seeds = []) db program changes =
           in
           let eval_start = Unix.gettimeofday () in
           let derived =
-            Matcher.eval_rule_staged ~before:current_lookup ~after:old_lookup
-              ~delta_pos:pos ~delta rule
+            Plan.run_staged
+              (Plan.Cache.delta plans rule ~delta_pos:pos)
+              ~before:current_view ~after:old_lookup ~delta
           in
           Logs.debug (fun m ->
               m "  eval %s pos %d: %d derived, %.4fs" (Ast.head_pred rule) pos
@@ -285,7 +301,7 @@ let apply ?(seeds = []) db program changes =
             | Some r -> Relation.clear r
             | None -> ())
           s.Stratify.preds;
-        Engine.eval_stratum db s;
+        Engine.eval_stratum ~plans db s;
         List.iter
           (fun (pred, pre) ->
             let now =

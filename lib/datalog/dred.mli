@@ -40,6 +40,7 @@ module Delta : sig
 end
 
 val apply :
+  ?plans:Plan.Cache.t ->
   ?seeds:(string * (Dd_relational.Tuple.t * int) list) list ->
   Dd_relational.Database.t ->
   Ast.program ->
@@ -49,6 +50,15 @@ val apply :
     incrementally maintains every IDB predicate.  Returns the full set of
     membership flips (base and derived).  Errors when the program is unsafe
     or unstratifiable, or when a change targets an IDB predicate.
+
+    Each elementary batch runs the delta-specialized compiled plan
+    ({!Plan.compile_delta}) for every (rule, position) reading the changed
+    predicate; the predicate's prior state is presented as a snapshot-free
+    [Plan.Patched] view rather than a [Relation.copy].  [plans] shares the
+    compiled-plan cache (and thus the relation indexes the plans probe)
+    across successive incremental steps — pass the cache held by
+    [Grounding.t] to amortize compilation the way the inference side reuses
+    its compiled kernel.  Default: a fresh throwaway cache.
 
     [seeds] injects pre-computed derivation-count contributions for derived
     predicates (e.g. the groundings of a rule that was just added to the

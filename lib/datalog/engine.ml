@@ -36,29 +36,40 @@ let insert_counted db pred (tuple, count) =
     Relation.insert ~count r tuple
   end
 
-(* Evaluate one stratum to fixpoint with semi-naive iteration.
+(* Evaluate one stratum to fixpoint with semi-naive iteration over compiled
+   join plans.
 
-   Round 0 evaluates every rule against the current database (same-stratum
-   IDB empty at that point).  Later rounds use the delta decomposition: for
-   each rule and each body position holding a same-stratum predicate, match
-   that position against the last round's delta, positions before it against
-   the new state and positions after it against the previous state, so each
-   grounding is discovered exactly once and counts stay exact. *)
-let eval_stratum db (stratum : Stratify.stratum) =
-  let in_stratum p = List.mem p stratum.Stratify.preds in
-  let old_state : (string, Relation.t) Hashtbl.t = Hashtbl.create 8 in
-  let lookup_new = lookup_in db in
-  let lookup_old pred =
-    if in_stratum pred then
-      match Hashtbl.find_opt old_state pred with
-      | Some r -> r
-      | None -> Matcher.empty_relation
-    else lookup_in db pred
+   Round 0 evaluates every rule's full plan against the current database
+   (same-stratum IDB empty at that point).  Later rounds use the delta
+   decomposition: for each rule and each body position holding a same-stratum
+   predicate, a delta-specialized plan matches that position against the last
+   round's delta, positions before it against the new state and positions
+   after it against the previous state, so each grounding is discovered
+   exactly once and counts stay exact.
+
+   The previous state is never materialized: because round deltas contain
+   only membership flips, S_{r-1} is exactly the live relation minus the last
+   delta's tuples, which a [Plan.Patched] view expresses without the per-round
+   [Relation.copy] of every stratum predicate the matcher-based evaluator
+   paid.  All contributions of a round are computed before any insert, so the
+   live relations are stable while the views read them. *)
+let eval_stratum ?plans db (stratum : Stratify.stratum) =
+  let plans =
+    match plans with
+    | Some c -> c
+    | None -> Plan.Cache.create ()
   in
-  (* Round 0. *)
+  let in_stratum p = List.mem p stratum.Stratify.preds in
+  let lookup_new pred = Plan.whole (lookup_in db pred) in
+  (* Round 0: old state is the empty stratum. *)
+  let initial_lookup pred =
+    if in_stratum pred then Plan.whole Matcher.empty_relation
+    else Plan.whole (lookup_in db pred)
+  in
   let initial : (string * (Tuple.t * int) list) list =
     List.map
-      (fun rule -> (Ast.head_pred rule, Matcher.eval_rule ~lookup:lookup_old rule))
+      (fun rule ->
+        (Ast.head_pred rule, Plan.run (Plan.Cache.full plans rule) ~lookup:initial_lookup))
       stratum.Stratify.rules
   in
   let delta : (string, (Tuple.t * int) list) Hashtbl.t = Hashtbl.create 8 in
@@ -90,32 +101,31 @@ let eval_stratum db (stratum : Stratify.stratum) =
       contributions;
     Hashtbl.length delta > 0
   in
-  let snapshot_old () =
-    Hashtbl.reset old_state;
-    List.iter
-      (fun pred ->
-        match Database.find_opt db pred with
-        | Some r -> Hashtbl.replace old_state pred (Relation.copy r)
-        | None -> ())
-      stratum.Stratify.preds
-  in
-  (* For round 0, old state is the empty stratum. *)
   let continue_ = apply_round initial in
   if continue_ && stratum.Stratify.recursive then begin
+    let empty_set : unit Tuple.Hashtbl.t = Tuple.Hashtbl.create 1 in
     let rec loop () =
       (* The delta we are about to consume was applied to the db already;
-         the old state must exclude it. *)
+         the old state is the live relation viewed without it. *)
       let last_delta = Hashtbl.copy delta in
-      snapshot_old ();
-      (* Remove the last delta from the snapshot to recover S_{r-1}. *)
-      (* Delta tuples were new in the last round, so the previous state
-         simply does not contain them. *)
+      let last_sets : (string, unit Tuple.Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
       Hashtbl.iter
         (fun pred entries ->
-          match Hashtbl.find_opt old_state pred with
-          | None -> ()
-          | Some r -> List.iter (fun (tuple, _) -> Relation.delete_all r tuple) entries)
+          let s = Tuple.Hashtbl.create (2 * List.length entries) in
+          List.iter (fun (tuple, _) -> Tuple.Hashtbl.replace s tuple ()) entries;
+          Hashtbl.replace last_sets pred s)
         last_delta;
+      let lookup_old pred =
+        if in_stratum pred then begin
+          let minus =
+            match Hashtbl.find_opt last_sets pred with
+            | Some s -> s
+            | None -> empty_set
+          in
+          Plan.patched ~base:(lookup_in db pred) ~minus ~plus:empty_set
+        end
+        else Plan.whole (lookup_in db pred)
+      in
       let contributions =
         List.concat_map
           (fun rule ->
@@ -129,8 +139,9 @@ let eval_stratum db (stratum : Stratify.stratum) =
                      | None | Some [] -> []
                      | Some d ->
                        [ ( head,
-                           Matcher.eval_rule_staged ~before:lookup_new
-                             ~after:lookup_old ~delta_pos:pos ~delta:d rule ) ]
+                           Plan.run_staged
+                             (Plan.Cache.delta plans rule ~delta_pos:pos)
+                             ~before:lookup_new ~after:lookup_old ~delta:d ) ]
                    end
                    else [])
                  rule.Ast.body))
@@ -141,7 +152,7 @@ let eval_stratum db (stratum : Stratify.stratum) =
     loop ()
   end
 
-let run db program =
+let run ?plans db program =
   match Stratify.stratify program with
   | Error e -> Error e
   | Ok strata ->
@@ -152,11 +163,11 @@ let run db program =
         | Some r -> Relation.clear r
         | None -> ())
       (Ast.idb_preds program);
-    List.iter (eval_stratum db) strata;
+    List.iter (eval_stratum ?plans db) strata;
     Ok ()
 
-let run_exn db program =
-  match run db program with
+let run_exn ?plans db program =
+  match run ?plans db program with
   | Ok () -> ()
   | Error e -> invalid_arg ("Engine.run: " ^ e)
 

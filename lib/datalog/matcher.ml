@@ -37,13 +37,15 @@ let term_value slots (binding : Value.t array) = function
    join positions for our programs; a Null in data would simply fail to
    distinguish itself, so we additionally guard inserts at the relation
    level. *)
-let unify slots binding args tuple =
-  let arity = Array.length tuple in
-  if List.length args <> arity then None
+(* The argument list is converted to an array once per literal by the
+   callers, so the per-tuple loop does no list traversal (the old code paid
+   a [List.length] walk per candidate tuple). *)
+let unify slots binding (args : Ast.term array) tuple =
+  if Array.length tuple <> Array.length args then None
   else begin
     let fresh = Array.copy binding in
     let ok = ref true in
-    List.iteri
+    Array.iteri
       (fun i arg ->
         if !ok then
           match arg with
@@ -72,12 +74,15 @@ let match_against_list slots atom tuples rows =
   match rows with
   | [] -> []
   | (first, _) :: _ ->
+    (* Once per literal, not per binding or per tuple. *)
+    let args = Array.of_list atom.Ast.args in
+    let arity = Array.length args in
     let scan tuples rows =
       List.concat_map
         (fun (binding, count) ->
           List.filter_map
             (fun (tuple, tcount) ->
-              match unify slots binding atom.Ast.args tuple with
+              match unify slots binding args tuple with
               | Some fresh -> Some (fresh, count * tcount)
               | None -> None)
             tuples)
@@ -88,7 +93,6 @@ let match_against_list slots atom tuples rows =
       scan tuples rows
     else begin
       let key_positions = Array.of_list bound in
-      let arity = List.length atom.Ast.args in
       let index = Hashtbl.create (List.length tuples) in
       List.iter
         (fun ((tuple, _) as entry) ->
@@ -98,7 +102,6 @@ let match_against_list slots atom tuples rows =
             Hashtbl.replace index key (entry :: existing)
           end)
         tuples;
-      let args = Array.of_list atom.Ast.args in
       List.concat_map
         (fun (binding, count) ->
           let key =
@@ -114,7 +117,7 @@ let match_against_list slots atom tuples rows =
           | Some entries ->
             List.filter_map
               (fun (tuple, tcount) ->
-                match unify slots binding atom.Ast.args tuple with
+                match unify slots binding args tuple with
                 | Some fresh -> Some (fresh, count * tcount)
                 | None -> None)
               entries)
@@ -155,7 +158,7 @@ let match_against_relation slots atom rel rows =
           | Some tuples ->
             List.filter_map
               (fun tuple ->
-                match unify slots binding atom.Ast.args tuple with
+                match unify slots binding args tuple with
                 | Some fresh -> Some (fresh, count)
                 | None -> None)
               tuples)

@@ -1,0 +1,136 @@
+(** Compiled join plans for rule bodies — the paper's rule-based optimizer
+    applied to grounding.
+
+    {!Matcher} interprets a rule body afresh on every call: it re-derives
+    the bound argument positions of each literal per frontier, resolves
+    variable slots through a string-keyed hash table per tuple, and advances
+    the frontier as a consed [(binding, count) list].  A {!t} is the
+    one-shot compiled form of the same evaluation: literals are reordered
+    once by a bound-variable/selectivity heuristic, every positive literal
+    is resolved at compile time to a probe against a persistent
+    {!Dd_relational.Relation.get_index} hash index on its bound columns
+    (built once per (relation, key columns) and maintained incrementally by
+    inserts and removes), variables become integer slots, and the frontier
+    advances over growable arrays.  Negated literals and guards are
+    scheduled at the earliest step where their variables are bound.
+
+    Execution is count-exact with the legacy matcher: both enumerate the
+    same multiset of body groundings, so every head tuple carries the same
+    derivation count (property-tested in [test/test_plan.ml]).
+
+    Relations are read through {!view}s.  A [Patched] view presents "the
+    relation as it was" without copying: the live relation minus an
+    exclusion set plus a (usually tiny) re-inclusion set.  This is what
+    makes semi-naive fixpoints ({!Engine.eval_stratum}) and DRed batches
+    ({!Dred.apply}) snapshot-free — the previous state is a view over the
+    current one, not a [Relation.copy]. *)
+
+module Value = Dd_relational.Value
+module Tuple = Dd_relational.Tuple
+module Relation = Dd_relational.Relation
+
+type view =
+  | Whole of Relation.t
+  | Patched of {
+      base : Relation.t;
+      minus : unit Tuple.Hashtbl.t;  (** members of [base] to hide *)
+      plus : unit Tuple.Hashtbl.t;  (** tuples to add (disjoint from [base] \ [minus]) *)
+    }
+      (** A set-semantics snapshot of a relation's earlier state, expressed
+          against its live contents.  Multiplicities are not represented:
+          views only feed positive-literal matching (membership, count
+          multiplier 1) and negation checks, where membership is all that
+          matters. *)
+
+type lookup = string -> view
+(** Resolves a predicate name to its contents; must return an empty view
+    for unknown predicates. *)
+
+val whole : Relation.t -> view
+
+val patched :
+  base:Relation.t -> minus:unit Tuple.Hashtbl.t -> plus:unit Tuple.Hashtbl.t -> view
+
+val view_of_lookup : (string -> Relation.t) -> lookup
+(** Wrap a plain relation lookup as a [Whole]-view lookup. *)
+
+val view_mem : view -> Tuple.t -> bool
+
+type t
+(** A compiled plan: either a full-evaluation plan ({!compile}) or a
+    delta-specialized plan for one body position ({!compile_delta}). *)
+
+val compile : Ast.rule -> t
+(** Compile a full-evaluation plan.  The body literals are reordered by a
+    greedy heuristic: at each step, pick the positive literal with the most
+    already-bound argument positions (constants count), breaking ties
+    toward fewer fresh variables and then source order — so every join
+    step after the first can probe an index rather than scan. *)
+
+val compile_delta : Ast.rule -> delta_pos:int -> t
+(** Compile the delta-specialized variant for semi-naive / DRed evaluation:
+    the literal at [delta_pos] is consumed first (against the explicit
+    delta passed at run time), the remaining literals follow the same
+    greedy order seeded by the delta literal's variables.  Resolution keys
+    off {e original} body positions: strictly before [delta_pos] resolves
+    through the run-time [before] lookup (new state), strictly after
+    through [after] (old state), exactly like
+    {!Matcher.eval_rule_staged}.  A negated literal at [delta_pos] is
+    matched positively against the delta (signs live in the counts). *)
+
+val rule : t -> Ast.rule
+
+val delta_pos : t -> int
+(** The specialized position, or [-1] for a full plan. *)
+
+val literal_order : t -> int list
+(** Original body positions in execution order (for inspection/tests). *)
+
+val run : t -> lookup:lookup -> (Tuple.t * int) list
+(** Execute a full plan: head tuples with derivation counts, equal (as a
+    counted multiset) to {!Matcher.eval_rule}.  Raises [Invalid_argument]
+    on a delta plan. *)
+
+val run_staged :
+  t ->
+  before:lookup ->
+  after:lookup ->
+  delta:(Tuple.t * int) list ->
+  (Tuple.t * int) list
+(** Execute a delta plan; mirrors {!Matcher.eval_rule_staged}.  Raises
+    [Invalid_argument] on a full plan. *)
+
+val run_bindings : t -> lookup:lookup -> (string -> Value.t option) list
+(** Full plan, groundings exposed as variable environments; mirrors
+    {!Matcher.eval_rule_bindings}. *)
+
+val run_bindings_staged :
+  t ->
+  before:lookup ->
+  after:lookup ->
+  delta:(Tuple.t * int) list ->
+  ((string -> Value.t option) * int) list
+(** Delta plan, environments with signed counts; mirrors
+    {!Matcher.eval_rule_bindings_staged}. *)
+
+(** Compiled plans cached by rule identity (printed form) and delta
+    position, so repeated {!Engine} rounds and {!Dred} batches reuse both
+    the plan and the relation indexes it probes — mirroring how the
+    inference side caches its compiled kernel across incremental steps. *)
+module Cache : sig
+  type plan := t
+
+  type t
+
+  val create : unit -> t
+
+  val full : t -> Ast.rule -> plan
+
+  val delta : t -> Ast.rule -> delta_pos:int -> plan
+
+  val size : t -> int
+  (** Number of distinct compiled plans held. *)
+
+  val compiles : t -> int
+  (** Total compilations performed (cache misses); for tests and stats. *)
+end

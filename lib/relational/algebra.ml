@@ -52,19 +52,34 @@ let natural_join a b =
     let out =
       Relation.create ~name:(Relation.name a ^ "|x|" ^ Relation.name b) out_schema
     in
-    let index = Relation.build_index b key_b in
+    (* Probe the persistent index (built once per (relation, key columns) and
+       maintained by inserts/removes) instead of a throwaway one per join.
+       The count lookup and residual projection of each [b] tuple are
+       memoized per key, so repeated key hits pay them once. *)
+    let index = Relation.get_index b key_b in
+    let probe_cache : (Tuple.t, (Tuple.t * int) list) Hashtbl.t = Hashtbl.create 64 in
+    let matches_for key =
+      match Hashtbl.find_opt probe_cache key with
+      | Some ms -> ms
+      | None ->
+        let ms =
+          match Hashtbl.find_opt index key with
+          | None -> []
+          | Some tbs ->
+            List.map
+              (fun tb ->
+                let extra = Array.of_list (List.map (fun (i, _) -> tb.(i)) residual) in
+                (extra, Relation.count b tb))
+              tbs
+        in
+        Hashtbl.replace probe_cache key ms;
+        ms
+    in
     Relation.iter
       (fun ta ca ->
-        let key = Tuple.project ta key_a in
-        match Hashtbl.find_opt index key with
-        | None -> ()
-        | Some matches ->
-          List.iter
-            (fun tb ->
-              let cb = Relation.count b tb in
-              let extra = Array.of_list (List.map (fun (i, _) -> tb.(i)) residual) in
-              Relation.insert ~count:(ca * cb) out (Tuple.concat ta extra))
-            matches)
+        List.iter
+          (fun (extra, cb) -> Relation.insert ~count:(ca * cb) out (Tuple.concat ta extra))
+          (matches_for (Tuple.project ta key_a)))
       a;
     out
   end
@@ -86,18 +101,27 @@ let equi_join a b pairs =
       ~name:(Relation.name a ^ "|x|" ^ Relation.name b)
       (Schema.concat sa sb_renamed)
   in
-  let index = Relation.build_index b key_b in
+  (* Cached persistent index plus per-key memoized (tuple, count) matches,
+     as in [natural_join]. *)
+  let index = Relation.get_index b key_b in
+  let probe_cache : (Tuple.t, (Tuple.t * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let matches_for key =
+    match Hashtbl.find_opt probe_cache key with
+    | Some ms -> ms
+    | None ->
+      let ms =
+        match Hashtbl.find_opt index key with
+        | None -> []
+        | Some tbs -> List.map (fun tb -> (tb, Relation.count b tb)) tbs
+      in
+      Hashtbl.replace probe_cache key ms;
+      ms
+  in
   Relation.iter
     (fun ta ca ->
-      let key = Tuple.project ta key_a in
-      match Hashtbl.find_opt index key with
-      | None -> ()
-      | Some matches ->
-        List.iter
-          (fun tb ->
-            let cb = Relation.count b tb in
-            Relation.insert ~count:(ca * cb) out (Tuple.concat ta tb))
-          matches)
+      List.iter
+        (fun (tb, cb) -> Relation.insert ~count:(ca * cb) out (Tuple.concat ta tb))
+        (matches_for (Tuple.project ta key_a)))
     a;
   out
 

@@ -49,6 +49,12 @@ val to_list : t -> Tuple.t list
 val to_counted_list : t -> (Tuple.t * int) list
 
 val copy : t -> t
+(** Deep copy of the tuple store.  Cached indexes ({!get_index}) are {e not}
+    carried over: the copy starts with an empty index table, and the first
+    [get_index] on it rebuilds from the copied rows.  Callers holding an
+    index obtained from the original must not assume it reflects (or is
+    shared with) the copy — the two relations maintain indexes
+    independently from the moment of the copy. *)
 
 val of_list : ?name:string -> Schema.t -> Tuple.t list -> t
 

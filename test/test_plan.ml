@@ -1,0 +1,423 @@
+(* Tests for Dd_datalog.Plan: compiled join plans must be count-exact
+   against the legacy interpreted Matcher on arbitrary rules and databases
+   (including negation, constants, repeated variables, guards, and empty
+   relations), Patched views must behave like materialized snapshots, and
+   DRed through compiled delta plans must match from-scratch evaluation on
+   insert / delete / rederive scenarios. *)
+
+module Value = Dd_relational.Value
+module Schema = Dd_relational.Schema
+module Tuple = Dd_relational.Tuple
+module Relation = Dd_relational.Relation
+module Database = Dd_relational.Database
+module Ast = Dd_datalog.Ast
+module Matcher = Dd_datalog.Matcher
+module Engine = Dd_datalog.Engine
+module Dred = Dd_datalog.Dred
+module Plan = Dd_datalog.Plan
+
+let i = Value.int
+let v name = Ast.Var name
+let c value = Ast.Const value
+let atom = Ast.atom
+
+(* --- helpers ---------------------------------------------------------------- *)
+
+let schema_of_arity n =
+  Schema.make (List.init n (fun k -> (Printf.sprintf "c%d" k, Value.TInt)))
+
+(* Fixed EDB vocabulary: predicate name -> arity. *)
+let preds = [ ("e1", 1); ("e2", 2); ("f2", 2); ("g3", 3) ]
+
+let arity_of pred = List.assoc pred preds
+
+let make_db contents =
+  let db = Database.create () in
+  List.iter
+    (fun (pred, arity) -> ignore (Database.create_table db pred (schema_of_arity arity)))
+    preds;
+  List.iter
+    (fun (pred, tuple, count) -> Relation.insert ~count (Database.find db pred) tuple)
+    contents;
+  db
+
+let sorted_counted l = List.sort compare (List.map (fun (t, n) -> (Array.to_list t, n)) l)
+
+let materialize_env rule env =
+  List.map (fun var -> (var, env var)) (List.sort_uniq compare (Ast.rule_vars rule))
+
+let sorted_envs rule envs = List.sort compare (List.map (materialize_env rule) envs)
+
+let sorted_counted_envs rule envs =
+  List.sort compare (List.map (fun (env, n) -> (materialize_env rule env, n)) envs)
+
+(* --- unit: compile shape ----------------------------------------------------- *)
+
+let test_order_prefers_bound () =
+  (* g3 shares x with the head; e2(x,y) must run before f2(z,w) once x,y
+     are bound... with nothing bound yet the heuristic picks the literal
+     with a constant first. *)
+  let rule =
+    Ast.rule
+      (atom "p" [ v "x" ])
+      [
+        Ast.Pos (atom "f2" [ v "z"; v "w" ]);
+        Ast.Pos (atom "e2" [ v "x"; c (i 7) ]);
+        Ast.Pos (atom "g3" [ v "x"; v "z"; v "y" ]);
+      ]
+  in
+  let plan = Plan.compile rule in
+  Alcotest.(check int) "starts at constant literal" 1 (List.hd (Plan.literal_order plan));
+  Alcotest.(check int) "full plan" (-1) (Plan.delta_pos plan)
+
+let test_delta_plan_starts_at_delta () =
+  let rule =
+    Ast.rule
+      (atom "p" [ v "x"; v "z" ])
+      [ Ast.Pos (atom "e2" [ v "x"; v "y" ]); Ast.Pos (atom "f2" [ v "y"; v "z" ]) ]
+  in
+  let plan = Plan.compile_delta rule ~delta_pos:1 in
+  Alcotest.(check int) "delta literal first" 1 (List.hd (Plan.literal_order plan));
+  Alcotest.(check int) "delta pos recorded" 1 (Plan.delta_pos plan)
+
+let test_cache_reuses_plans () =
+  let rule =
+    Ast.rule (atom "p" [ v "x" ]) [ Ast.Pos (atom "e2" [ v "x"; v "y" ]) ]
+  in
+  let cache = Plan.Cache.create () in
+  let p1 = Plan.Cache.full cache rule in
+  let p2 = Plan.Cache.full cache rule in
+  Alcotest.(check bool) "same plan" true (p1 == p2);
+  ignore (Plan.Cache.delta cache rule ~delta_pos:0);
+  ignore (Plan.Cache.delta cache rule ~delta_pos:0);
+  Alcotest.(check int) "two compilations" 2 (Plan.Cache.compiles cache);
+  Alcotest.(check int) "two cached plans" 2 (Plan.Cache.size cache)
+
+let test_run_rejects_wrong_mode () =
+  let rule =
+    Ast.rule (atom "p" [ v "x" ]) [ Ast.Pos (atom "e2" [ v "x"; v "y" ]) ]
+  in
+  let lookup = Plan.view_of_lookup (fun _ -> Matcher.empty_relation) in
+  Alcotest.check_raises "run on delta plan"
+    (Invalid_argument "Plan.run: delta plan (use run_staged)") (fun () ->
+      ignore (Plan.run (Plan.compile_delta rule ~delta_pos:0) ~lookup));
+  Alcotest.check_raises "run_staged on full plan"
+    (Invalid_argument "Plan.run_staged: full plan (use run)") (fun () ->
+      ignore (Plan.run_staged (Plan.compile rule) ~before:lookup ~after:lookup ~delta:[]))
+
+(* --- unit: patched views ------------------------------------------------------ *)
+
+let test_view_mem_patched () =
+  let base = Relation.of_list (schema_of_arity 1) [ [| i 1 |]; [| i 2 |] ] in
+  let minus = Tuple.Hashtbl.create 4 and plus = Tuple.Hashtbl.create 4 in
+  Tuple.Hashtbl.replace minus [| i 2 |] ();
+  Tuple.Hashtbl.replace plus [| i 9 |] ();
+  let view = Plan.patched ~base ~minus ~plus in
+  Alcotest.(check bool) "kept" true (Plan.view_mem view [| i 1 |]);
+  Alcotest.(check bool) "hidden" false (Plan.view_mem view [| i 2 |]);
+  Alcotest.(check bool) "added" true (Plan.view_mem view [| i 9 |]);
+  Alcotest.(check bool) "absent" false (Plan.view_mem view [| i 5 |])
+
+let test_patched_view_equals_materialized () =
+  (* A join against a Patched view must equal the same join against the
+     materialized old relation. *)
+  let rule =
+    Ast.rule
+      (atom "p" [ v "x"; v "z" ])
+      [ Ast.Pos (atom "e2" [ v "x"; v "y" ]); Ast.Pos (atom "f2" [ v "y"; v "z" ]) ]
+  in
+  let db =
+    make_db
+      [
+        ("e2", [| i 1; i 2 |], 1);
+        ("e2", [| i 2; i 2 |], 1);
+        ("f2", [| i 2; i 3 |], 1);
+        ("f2", [| i 2; i 4 |], 1);
+      ]
+  in
+  (* Old state of f2: drop (2,3), add (5,6). *)
+  let minus = Tuple.Hashtbl.create 4 and plus = Tuple.Hashtbl.create 4 in
+  Tuple.Hashtbl.replace minus [| i 2; i 3 |] ();
+  Tuple.Hashtbl.replace plus [| i 5; i 6 |] ();
+  let patched_lookup pred =
+    if pred = "f2" then Plan.patched ~base:(Database.find db "f2") ~minus ~plus
+    else Plan.whole (Engine.lookup_in db pred)
+  in
+  let old_f2 = Relation.of_list (schema_of_arity 2) [ [| i 2; i 4 |]; [| i 5; i 6 |] ] in
+  let materialized_lookup pred =
+    if pred = "f2" then old_f2 else Engine.lookup_in db pred
+  in
+  let via_view = Plan.run (Plan.compile rule) ~lookup:patched_lookup in
+  let via_copy = Matcher.eval_rule ~lookup:materialized_lookup rule in
+  Alcotest.(check bool) "same result" true
+    (sorted_counted via_view = sorted_counted via_copy)
+
+(* --- qcheck: planned execution vs legacy matcher ------------------------------ *)
+
+(* Random safe rules over the fixed vocabulary: 1-3 positive literals with
+   variables (repetition likely) and constants, an optional negation and an
+   optional guard over bound variables, a head over bound variables. *)
+let rule_gen =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z"; "w" ] in
+  let const = map i (0 -- 3) in
+  let term = frequency [ (3, map v var); (1, map c const) ] in
+  let pred_gen = oneofl (List.map fst preds) in
+  let atom_for pred = map (fun args -> atom pred args) (list_repeat (arity_of pred) term) in
+  let pos_atom = pred_gen >>= atom_for in
+  let* body_atoms = list_size (1 -- 3) pos_atom in
+  let bound =
+    List.sort_uniq compare (List.concat_map Ast.atom_vars body_atoms)
+  in
+  let bound_term =
+    match bound with
+    | [] -> map c const
+    | _ -> frequency [ (3, map v (oneofl bound)); (1, map c const) ]
+  in
+  let* negated =
+    frequency
+      [
+        (2, return []);
+        ( 1,
+          let* pred = pred_gen in
+          map
+            (fun args -> [ Ast.Neg (atom pred args) ])
+            (list_repeat (arity_of pred) bound_term) );
+      ]
+  in
+  let* guards =
+    frequency
+      [
+        (2, return []);
+        ( 1,
+          let* a = bound_term and* b = bound_term in
+          oneofl [ [ Ast.Neq (a, b) ]; [ Ast.Lt (a, b) ]; [ Ast.Eq (a, b) ]; [ Ast.Le (a, b) ] ]
+        );
+      ]
+  in
+  let* head_args = list_size (1 -- 2) bound_term in
+  let* ngap = 0 -- List.length body_atoms in
+  let body =
+    (* Splice the negation somewhere into the positive body so delta
+       positions can land on either polarity. *)
+    let positives = List.map (fun a -> Ast.Pos a) body_atoms in
+    let before = List.filteri (fun k _ -> k < ngap) positives in
+    let after = List.filteri (fun k _ -> k >= ngap) positives in
+    before @ negated @ after
+  in
+  return (Ast.rule ~guards (atom "h" head_args) body)
+
+let db_gen =
+  let open QCheck.Gen in
+  let tuple_for pred = map Array.of_list (list_repeat (arity_of pred) (map i (0 -- 3))) in
+  let entry =
+    let* pred = oneofl (List.map fst preds) in
+    let* tuple = tuple_for pred in
+    let* count = 1 -- 2 in
+    return (pred, tuple, count)
+  in
+  list_size (0 -- 25) entry
+
+let print_scenario (rule, contents) =
+  Printf.sprintf "rule: %s\ndb: %s" (Ast.rule_to_string rule)
+    (String.concat "; "
+       (List.map
+          (fun (p, t, n) -> Printf.sprintf "%s%s*%d" p (Tuple.to_string t) n)
+          contents))
+
+let full_equiv_arb =
+  QCheck.make ~print:print_scenario QCheck.Gen.(pair rule_gen db_gen)
+
+let check_full_equivalence (rule, contents) =
+  let db = make_db contents in
+  let lookup = Engine.lookup_in db in
+  let legacy = Matcher.eval_rule ~lookup rule in
+  let planned = Plan.run (Plan.compile rule) ~lookup:(Plan.view_of_lookup lookup) in
+  let envs_legacy = Matcher.eval_rule_bindings ~lookup rule in
+  let envs_planned =
+    Plan.run_bindings (Plan.compile rule) ~lookup:(Plan.view_of_lookup lookup)
+  in
+  sorted_counted legacy = sorted_counted planned
+  && sorted_envs rule envs_legacy = sorted_envs rule envs_planned
+
+(* Staged: arbitrary before/after databases and an arbitrary signed delta
+   (with some wrong-arity tuples both paths must ignore) at every body
+   position of the rule. *)
+let staged_gen =
+  let open QCheck.Gen in
+  let* rule = rule_gen in
+  let* before_db = db_gen in
+  let* after_db = db_gen in
+  let npos = List.length rule.Ast.body in
+  let* delta_pos = 0 -- (npos - 1) in
+  let pred = (Ast.atom_of_literal (List.nth rule.Ast.body delta_pos)).Ast.pred in
+  let delta_entry =
+    let* arity = frequency [ (6, return (arity_of pred)); (1, 0 -- 3) ] in
+    let* tuple = map Array.of_list (list_repeat arity (map i (0 -- 3))) in
+    let* sign = oneofl [ 1; -1; 2; -2 ] in
+    return (tuple, sign)
+  in
+  let* delta = list_size (0 -- 6) delta_entry in
+  return (rule, before_db, after_db, delta_pos, delta)
+
+let staged_arb =
+  QCheck.make
+    ~print:(fun (rule, bdb, adb, pos, delta) ->
+      Printf.sprintf "%s\npos=%d delta=%s\nbefore=%d entries after=%d entries"
+        (Ast.rule_to_string rule) pos
+        (String.concat ";"
+           (List.map (fun (t, s) -> Printf.sprintf "%s%+d" (Tuple.to_string t) s) delta))
+        (List.length bdb) (List.length adb))
+    staged_gen
+
+let check_staged_equivalence (rule, before_contents, after_contents, delta_pos, delta) =
+  let before_db = make_db before_contents and after_db = make_db after_contents in
+  let before = Engine.lookup_in before_db and after = Engine.lookup_in after_db in
+  let legacy = Matcher.eval_rule_staged ~before ~after ~delta_pos ~delta rule in
+  let plan = Plan.compile_delta rule ~delta_pos in
+  let planned =
+    Plan.run_staged plan ~before:(Plan.view_of_lookup before)
+      ~after:(Plan.view_of_lookup after) ~delta
+  in
+  let envs_legacy = Matcher.eval_rule_bindings_staged ~before ~after ~delta_pos ~delta rule in
+  let envs_planned =
+    Plan.run_bindings_staged plan ~before:(Plan.view_of_lookup before)
+      ~after:(Plan.view_of_lookup after) ~delta
+  in
+  sorted_counted legacy = sorted_counted planned
+  && sorted_counted_envs rule envs_legacy = sorted_counted_envs rule envs_planned
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"planned run equals matcher (random rules/dbs)" ~count:300
+      full_equiv_arb check_full_equivalence;
+    QCheck.Test.make ~name:"planned staged run equals matcher (random deltas)" ~count:300
+      staged_arb check_staged_equivalence;
+  ]
+
+(* --- dred through compiled delta plans ---------------------------------------- *)
+
+let edge_schema = Schema.make [ ("src", Value.TInt); ("dst", Value.TInt) ]
+
+let db_with_edges edges =
+  let db = Database.create () in
+  let r = Database.create_table db "edge" edge_schema in
+  List.iter (fun (a, b) -> Relation.insert r [| i a; i b |]) edges;
+  db
+
+let nonrec_program =
+  [
+    Ast.rule (atom "p" [ v "x" ]) [ Ast.Pos (atom "edge" [ v "x"; v "y" ]) ];
+    Ast.rule
+      (atom "q" [ v "x"; v "z" ])
+      [ Ast.Pos (atom "p" [ v "x" ]); Ast.Pos (atom "edge" [ v "x"; v "z" ]) ];
+  ]
+
+let tc_program =
+  [
+    Ast.rule (atom "tc" [ v "x"; v "y" ]) [ Ast.Pos (atom "edge" [ v "x"; v "y" ]) ];
+    Ast.rule
+      (atom "tc" [ v "x"; v "z" ])
+      [ Ast.Pos (atom "edge" [ v "x"; v "y" ]); Ast.Pos (atom "tc" [ v "y"; v "z" ]) ];
+  ]
+
+(* DRed with a shared plan cache vs from-scratch evaluation. *)
+let dred_planned_equivalence ~plans ~program ~db ~inserts ~deletes =
+  let delta = Dred.Delta.create () in
+  List.iter (fun (a, b) -> Dred.Delta.insert delta "edge" [| i a; i b |]) inserts;
+  List.iter (fun (a, b) -> Dred.Delta.delete delta "edge" [| i a; i b |]) deletes;
+  (match Dred.apply ~plans db program delta with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let fresh = Database.create () in
+  let r = Database.create_table fresh "edge" edge_schema in
+  Relation.iter (fun t count -> Relation.insert ~count r t) (Database.find db "edge");
+  Engine.run_exn fresh program;
+  let empty = Relation.create (Schema.make []) in
+  List.iter
+    (fun pred ->
+      let incremental = Option.value (Database.find_opt db pred) ~default:empty in
+      let scratch = Option.value (Database.find_opt fresh pred) ~default:empty in
+      if not (Relation.equal_contents incremental scratch) then
+        Alcotest.failf "predicate %s differs: incremental %d tuples vs scratch %d" pred
+          (Relation.cardinality incremental) (Relation.cardinality scratch))
+    (Ast.idb_preds program)
+
+let test_dred_planned_insert_delete_rederive () =
+  (* One shared cache across full eval + three incremental steps: insert,
+     delete with surviving alternative derivations, and a cyclic delete that
+     forces the rederivation (recompute-and-diff) path. *)
+  let plans = Plan.Cache.create () in
+  let db = db_with_edges [ (1, 2); (2, 3); (1, 3) ] in
+  (match Engine.run ~plans db nonrec_program with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  dred_planned_equivalence ~plans ~program:nonrec_program ~db ~inserts:[ (3, 4); (4, 1) ]
+    ~deletes:[];
+  dred_planned_equivalence ~plans ~program:nonrec_program ~db ~inserts:[]
+    ~deletes:[ (1, 2) ];
+  let compiles_after_two = Plan.Cache.compiles plans in
+  dred_planned_equivalence ~plans ~program:nonrec_program ~db ~inserts:[ (5, 1) ]
+    ~deletes:[ (2, 3) ];
+  (* The third step exercises only rule/position combinations already seen,
+     so the shared cache must not compile anything new. *)
+  Alcotest.(check int) "cache reused across steps" compiles_after_two
+    (Plan.Cache.compiles plans)
+
+let test_dred_planned_recursive_rederive () =
+  let plans = Plan.Cache.create () in
+  let db = db_with_edges [ (1, 2); (2, 3); (3, 1); (3, 4) ] in
+  (match Engine.run ~plans db tc_program with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Deleting a cycle edge: counting alone cannot retract tc tuples with
+     cyclic support; the recompute fallback (also running compiled plans)
+     must produce the scratch result. *)
+  dred_planned_equivalence ~plans ~program:tc_program ~db ~inserts:[] ~deletes:[ (2, 3) ];
+  dred_planned_equivalence ~plans ~program:tc_program ~db ~inserts:[ (4, 5); (2, 3) ]
+    ~deletes:[ (3, 4) ]
+
+let test_engine_planned_negation_guard () =
+  (* Full planned evaluation through Engine.run on a program with negation
+     and a guard, vs the same program on a fresh db — regression anchor for
+     the sink example from test_datalog. *)
+  let program =
+    [
+      Ast.rule (atom "has_out" [ v "x" ]) [ Ast.Pos (atom "edge" [ v "x"; v "y" ]) ];
+      Ast.rule
+        ~guards:[ Ast.Neq (v "x", v "y") ]
+        (atom "sink_for" [ v "y"; v "x" ])
+        [ Ast.Pos (atom "edge" [ v "y"; v "x" ]); Ast.Neg (atom "has_out" [ v "x" ]) ];
+    ]
+  in
+  let db = db_with_edges [ (1, 2); (2, 3); (4, 4) ] in
+  Engine.run_exn db program;
+  let sink = Database.find db "sink_for" in
+  Alcotest.(check int) "one sink pair" 1 (Relation.cardinality sink);
+  Alcotest.(check bool) "2->3" true (Relation.mem sink [| i 2; i 3 |])
+
+let () =
+  Alcotest.run "dd_datalog_plan"
+    [
+      ( "compile",
+        [
+          Alcotest.test_case "order prefers bound literals" `Quick test_order_prefers_bound;
+          Alcotest.test_case "delta plan starts at delta" `Quick test_delta_plan_starts_at_delta;
+          Alcotest.test_case "cache reuses plans" `Quick test_cache_reuses_plans;
+          Alcotest.test_case "run mode checks" `Quick test_run_rejects_wrong_mode;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "view_mem patched" `Quick test_view_mem_patched;
+          Alcotest.test_case "patched equals materialized" `Quick
+            test_patched_view_equals_materialized;
+        ] );
+      ( "dred",
+        [
+          Alcotest.test_case "insert/delete/rederive with shared cache" `Quick
+            test_dred_planned_insert_delete_rederive;
+          Alcotest.test_case "recursive rederive" `Quick test_dred_planned_recursive_rederive;
+          Alcotest.test_case "engine negation+guard" `Quick test_engine_planned_negation_guard;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -173,6 +173,29 @@ let test_relation_get_index_maintained () =
   (* The same columns yield the same cached table. *)
   Alcotest.(check bool) "cached" true (Relation.get_index r [| 1 |] == index)
 
+let test_relation_copy_rebuilds_index () =
+  (* [Relation.copy] drops cached indexes: the copy's first [get_index] must
+     rebuild from the copied rows, stay independent of the original's index,
+     and track the copy's own subsequent mutations. *)
+  let r = make_rel [ [| i 1; s "x" |]; [| i 2; s "x" |]; [| i 3; s "y" |] ] in
+  let orig_index = Relation.get_index r [| 1 |] in
+  let c = Relation.copy r in
+  let copy_index = Relation.get_index c [| 1 |] in
+  Alcotest.(check bool) "distinct tables" true (copy_index != orig_index);
+  Alcotest.(check int) "rebuilt x bucket" 2 (List.length (Hashtbl.find copy_index [| s "x" |]));
+  Alcotest.(check int) "rebuilt y bucket" 1 (List.length (Hashtbl.find copy_index [| s "y" |]));
+  (* Mutating the copy maintains the copy's index and leaves the original's
+     untouched. *)
+  Relation.insert c [| i 4; s "y" |];
+  ignore (Relation.remove c [| i 1; s "x" |]);
+  Alcotest.(check int) "copy y grew" 2 (List.length (Hashtbl.find copy_index [| s "y" |]));
+  Alcotest.(check int) "copy x shrank" 1 (List.length (Hashtbl.find copy_index [| s "x" |]));
+  Alcotest.(check int) "original y" 1 (List.length (Hashtbl.find orig_index [| s "y" |]));
+  Alcotest.(check int) "original x" 2 (List.length (Hashtbl.find orig_index [| s "x" |]));
+  (* And vice versa: mutating the original does not leak into the copy. *)
+  Relation.insert r [| i 5; s "x" |];
+  Alcotest.(check int) "copy x unaffected" 1 (List.length (Hashtbl.find copy_index [| s "x" |]))
+
 let test_relation_get_index_cleared () =
   let r = make_rel [ [| i 1; s "x" |] ] in
   ignore (Relation.get_index r [| 1 |]);
@@ -404,6 +427,7 @@ let () =
           Alcotest.test_case "filter" `Quick test_relation_filter;
           Alcotest.test_case "build_index" `Quick test_relation_build_index;
           Alcotest.test_case "get_index maintained" `Quick test_relation_get_index_maintained;
+          Alcotest.test_case "copy rebuilds index" `Quick test_relation_copy_rebuilds_index;
           Alcotest.test_case "get_index after clear" `Quick test_relation_get_index_cleared;
         ] );
       ( "algebra",
