@@ -5,6 +5,11 @@ all: build
 build:
 	dune build
 
+# `make test` and `make verify` are aliases for `dune runtest`, the
+# tier-1 gate (includes the fault-injection and transaction sweeps).
+# CI runs the same command under `timeout-minutes`, so a hung sweep
+# fails the build instead of stalling it; locally, `timeout 600 make
+# test` gives the same guard.
 test:
 	dune runtest
 

@@ -66,6 +66,7 @@ let write_json_record ~path ~name ~scale ~wall_clock_s ~metrics =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"schema_version\": 1,\n";
       Printf.fprintf oc "  \"experiment\": \"%s\",\n" (json_escape name);
       Printf.fprintf oc "  \"scale\": \"%s\",\n" (json_escape scale);
       Printf.fprintf oc "  \"wall_clock_seconds\": %s,\n" (json_float wall_clock_s);

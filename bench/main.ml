@@ -30,6 +30,7 @@ module _ = Micro
 module _ = Ablations
 module _ = Calibration_bench
 module _ = Fig_recovery
+module _ = Robustness
 module _ = Scaling
 module _ = Gibbs_kernel
 module _ = Grounding_bench

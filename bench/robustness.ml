@@ -1,0 +1,144 @@
+(* Robustness: what the transactional supervisor costs and what each rung
+   of the degradation ladder buys.
+
+   Clean path: the same six-snapshot KBC sequence driven directly through
+   [Engine.apply_update] and through [Txn.apply]; the overhead of undo-log
+   bookkeeping (target: under 5%) is the price every healthy update pays.
+   Both drivers must land on bit-identical marginals — journaling never
+   touches the PRNG stream.
+
+   Recovery latency: one scenario per rung, each arming a fault so the
+   ladder stops exactly there (retry, rematerialize, rerun, quarantine),
+   timing the whole [Txn.apply] including rollback and recovery work. *)
+
+open Harness
+module Corpus = Dd_kbc.Corpus
+module Systems = Dd_kbc.Systems
+module Pipeline = Dd_kbc.Pipeline
+module Database = Dd_relational.Database
+module Engine = Dd_core.Engine
+module Txn = Dd_core.Txn
+module Fault = Dd_util.Fault
+module Timer = Dd_util.Timer
+module Table = Dd_util.Table
+
+let bench_options =
+  {
+    Engine.default_options with
+    Engine.materialization_samples = 400;
+    inference_chain = 150;
+    initial_learning_epochs = 30;
+    incremental_learning_epochs = 8;
+  }
+
+let sequence = Pipeline.all_rule_ids
+
+let make_engine config =
+  let corpus = Corpus.generate config in
+  let db = Database.create () in
+  Corpus.load corpus db;
+  Engine.create ~options:bench_options db (Pipeline.base_program ())
+
+let drive_direct engine =
+  List.iter
+    (fun rid -> ignore (Engine.apply_update engine (Pipeline.update_of rid)))
+    sequence
+
+let drive_txn engine =
+  let txn = Txn.create engine in
+  List.iter
+    (fun rid ->
+      match Txn.apply txn (Pipeline.update_of rid) with
+      | Ok _ -> ()
+      | Error e -> failwith ("clean-path update quarantined: " ^ Txn.error_message e))
+    sequence;
+  txn
+
+(* Median update-loop time over fresh engines (engine construction stays
+   outside the clock). *)
+let median_loop ~repeats config run =
+  let times =
+    List.init repeats (fun _ ->
+        let engine = make_engine config in
+        Timer.time_s (fun () -> run engine))
+  in
+  List.nth (List.sort compare times) (repeats / 2)
+
+let rung_scenario config ~label ~arm ~options update =
+  Fault.reset ();
+  let engine = make_engine config in
+  Fault.reset ();
+  arm ();
+  let txn = Txn.create ~options engine in
+  let timer = Timer.start () in
+  let result = Txn.apply txn update in
+  let seconds = Timer.elapsed_s timer in
+  Fault.reset ();
+  let rung, attempts =
+    match result with
+    | Ok o -> (Txn.rung_to_string o.Txn.rung, o.Txn.attempts)
+    | Error _ -> ("quarantine", (List.hd (Txn.dead_letters txn)).Txn.attempts)
+  in
+  (label, rung, attempts, seconds)
+
+let robustness ~full =
+  section "Robustness: transactional overhead and the degradation ladder";
+  let config =
+    let base = Systems.news in
+    if full then { base with Corpus.docs = base.Corpus.docs * 4 } else base
+  in
+  let repeats = if full then 5 else 3 in
+
+  note
+    "Clean path: the six-snapshot sequence, direct vs transactional\n\
+     (median of %d update loops; engine construction excluded)."
+    repeats;
+  let direct_s = median_loop ~repeats config (fun e -> drive_direct e) in
+  let txn_s = median_loop ~repeats config (fun e -> ignore (drive_txn e)) in
+  let overhead_pct = (txn_s -. direct_s) /. direct_s *. 100.0 in
+  (* Journaling must not perturb results: same final marginals both ways. *)
+  let e_direct = make_engine config in
+  drive_direct e_direct;
+  let e_txn = make_engine config in
+  let txn = drive_txn e_txn in
+  let identical =
+    Engine.marginals_by_relation (Txn.engine txn) = Engine.marginals_by_relation e_direct
+  in
+  note "direct %.3fs   txn %.3fs   overhead %+.2f%%   bit-identical marginals: %b"
+    direct_s txn_s overhead_pct identical;
+  metric "clean_direct_s" direct_s;
+  metric "clean_txn_s" txn_s;
+  metric "clean_overhead_pct" overhead_pct;
+  metric "clean_path_identical" (if identical then 1.0 else 0.0);
+
+  note "\nRecovery latency per ladder rung (one faulted FE1 update each):";
+  let update = Pipeline.update_of Pipeline.FE1 in
+  let nth_1 () = Fault.arm "engine.apply_update.post_ground" (Fault.Nth 1) in
+  let always () =
+    Fault.seed 42;
+    Fault.arm "engine.apply_update.post_ground" (Fault.Probability 1.0)
+  in
+  let scenarios =
+    [
+      rung_scenario config ~label:"retry" ~arm:nth_1 ~options:Txn.default_options update;
+      rung_scenario config ~label:"rematerialize" ~arm:nth_1
+        ~options:{ Txn.default_options with Txn.max_retries = 0 }
+        update;
+      rung_scenario config ~label:"rerun" ~arm:nth_1
+        ~options:
+          { Txn.default_options with Txn.max_retries = 0; allow_rematerialize = false }
+        update;
+      rung_scenario config ~label:"quarantine" ~arm:always ~options:Txn.default_options update;
+    ]
+  in
+  let table = Table.create [ "scenario"; "resolved at"; "attempts"; "seconds" ] in
+  List.iter
+    (fun (label, rung, attempts, seconds) ->
+      Table.add_row table [ label; rung; string_of_int attempts; Table.cell_f seconds ];
+      metric (label ^ "_latency_s") seconds;
+      metric (label ^ "_attempts") (float_of_int attempts))
+    scenarios;
+  Table.print table;
+  Fault.reset ()
+
+let () = register "robustness" "Transactional update overhead + recovery ladder" robustness

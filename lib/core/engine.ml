@@ -1,6 +1,8 @@
 module Graph = Dd_fgraph.Graph
 module Tuple = Dd_relational.Tuple
 module Database = Dd_relational.Database
+module Relation = Dd_relational.Relation
+module Budget = Dd_util.Budget
 module Compiled = Dd_inference.Compiled
 module Learner = Dd_inference.Learner
 module Metropolis = Dd_inference.Metropolis
@@ -25,6 +27,7 @@ type options = {
   disable_variational : bool;
   workload_aware : bool;
   parallel_domains : int;
+  step_budget : Budget.spec;
   seed : int;
 }
 
@@ -45,6 +48,7 @@ let default_options =
     disable_variational = false;
     workload_aware = true;
     parallel_domains = 1;
+    step_budget = Budget.Unlimited;
     seed = 42;
   }
 
@@ -181,7 +185,12 @@ let record_extensions t (greport : Grounding.report) =
     greport.Grounding.change.Metropolis.extended_factors
 
 let apply_update t update =
-  let greport, grounding_seconds = Timer.time (fun () -> Grounding.extend t.ground update) in
+  (* One budget per update step, polled cooperatively by grounding rounds
+     and Gibbs sweeps; [Ticks] specs re-arm deterministically per call. *)
+  let budget = Budget.start t.opts.step_budget in
+  let greport, grounding_seconds =
+    Timer.time (fun () -> Grounding.extend ~budget t.ground update)
+  in
   (* Crash here = the database and graph were already mutated by grounding
      but the marginals were not refreshed; recovery must rebuild from the
      pre-update checkpoint and replay the logged update. *)
@@ -279,11 +288,11 @@ let apply_update t update =
         Timer.time (fun () ->
             let kernel = compiled_kernel t in
             if t.opts.parallel_domains > 1 then
-              Par_gibbs.marginals ~burn_in:t.opts.burn_in ~kernel
+              Par_gibbs.marginals ~burn_in:t.opts.burn_in ~budget ~kernel
                 ~domains:t.opts.parallel_domains t.rng (graph t)
                 ~sweeps:t.opts.inference_chain
             else
-              Compiled.marginals ~burn_in:t.opts.burn_in t.rng kernel
+              Compiled.marginals ~burn_in:t.opts.burn_in ~budget t.rng kernel
                 ~sweeps:t.opts.inference_chain)
       in
       (Used_full_gibbs, None, m, secs)
@@ -299,6 +308,91 @@ let apply_update t update =
     grounding = greport;
     marginals;
   }
+
+(* --- update transactions -------------------------------------------------- *)
+
+(* Everything [apply_update] can mutate, captured as either a cheap value
+   snapshot (rng state, counters, marginals, kernel cache — all small) or
+   an undo log over the big mutable stores (relations journal their tuple
+   flips, the graph journals in-place slot writes and truncates appends,
+   the grounding tables prune by id thresholds).  The clean path therefore
+   pays only journal bookkeeping, never a copy of the database or graph. *)
+type txn = {
+  x_graph_journal : Graph.journal;
+  x_gmark : Grounding.mark;
+  x_tables : string list;  (* tables existing at begin *)
+  x_rel_log : (Relation.t * Tuple.t * int) list ref;  (* newest first *)
+  x_journaled : Relation.t list;
+  x_rng : Dd_util.Prng.t;
+  x_mat : Materialize.t;
+  x_origin : (int * int) list;
+  x_proposals_used : int;
+  x_last_marginals : float array;
+  x_kernel : Compiled.t option;
+  x_kernel_compiles : int;
+}
+
+let txn_begin t =
+  let log = ref [] in
+  let db = Grounding.database t.ground in
+  let tables = Database.table_names db in
+  let journaled = List.filter_map (Database.find_opt db) tables in
+  List.iter
+    (fun rel ->
+      Relation.set_journal rel (Some (fun tup prev -> log := (rel, tup, prev) :: !log)))
+    journaled;
+  {
+    x_graph_journal = Graph.journal_begin (graph t);
+    x_gmark = Grounding.mark t.ground;
+    x_tables = tables;
+    x_rel_log = log;
+    x_journaled = journaled;
+    x_rng = Prng.copy t.rng;
+    x_mat = t.mat;
+    x_origin = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.extension_origin [];
+    x_proposals_used = t.proposals_used;
+    x_last_marginals = t.last_marginals;
+    x_kernel = t.kernel;
+    x_kernel_compiles = t.kernel_compiles;
+  }
+
+let detach_journals x = List.iter (fun rel -> Relation.set_journal rel None) x.x_journaled
+
+let txn_commit _t x =
+  detach_journals x;
+  (* The graph journal was armed by this txn's [journal_begin]; dropping
+     it commits the appends. *)
+  x.x_rel_log := []
+
+(* Fully idempotent so the supervisor can retry a rollback that was itself
+   interrupted: journals detach first (replay must not re-log), every
+   restore primitive applies absolute previous values, and the relation
+   log is preserved until commit. *)
+let txn_rollback t x =
+  (* Crash-injection points on the recovery path itself: the supervisor
+     retries (bounded) on [Fault.Injected] escaping from here. *)
+  Dd_util.Fault.hit "engine.txn_rollback.begin";
+  detach_journals x;
+  Graph.rollback (graph t) x.x_graph_journal;
+  Grounding.rollback t.ground x.x_gmark;
+  let db = Grounding.database t.ground in
+  (* DRed materializes new derived predicates on demand; drop any table
+     that did not exist when the transaction began. *)
+  List.iter
+    (fun name -> if not (List.mem name x.x_tables) then Database.drop_table db name)
+    (Database.table_names db);
+  (* Newest-to-oldest replay: the oldest logged count for a tuple is its
+     pre-transaction multiplicity, and it is applied last. *)
+  List.iter (fun (rel, tup, prev) -> Relation.restore_count rel tup prev) !(x.x_rel_log);
+  Dd_util.Fault.hit "engine.txn_rollback.mid_restore";
+  Prng.assign t.rng x.x_rng;
+  t.mat <- x.x_mat;
+  Hashtbl.reset t.extension_origin;
+  List.iter (fun (k, v) -> Hashtbl.replace t.extension_origin k v) x.x_origin;
+  t.proposals_used <- x.x_proposals_used;
+  t.last_marginals <- x.x_last_marginals;
+  t.kernel <- x.x_kernel;
+  t.kernel_compiles <- x.x_kernel_compiles
 
 let rematerialize t = Timer.time_s (fun () -> materialize_now t)
 

@@ -46,6 +46,11 @@ type options = {
           full-Gibbs fallbacks as color-synchronous parallel sweeps —
           deterministic per [(seed, N)], but a different chain than
           [N = 1]. *)
+  step_budget : Dd_util.Budget.spec;
+      (** cooperative deadline for one [apply_update] step, polled per
+          Gibbs sweep / color phase and per DRed batch; exhaustion raises
+          {!Dd_util.Budget.Exceeded}, which {!Txn} classifies as
+          [`Inference_timeout].  Default [Unlimited]. *)
   seed : int;
 }
 
@@ -94,6 +99,29 @@ val kernel_compiles : t -> int
     the graph's structure or evidence. *)
 
 val apply_update : t -> Grounding.update -> report
+(** One iteration of the incremental loop.  On an exception (a
+    {!Grounding.Error}, {!Dd_util.Budget.Exceeded}, or an injected fault)
+    the engine may be left partially mutated — wrap the call in
+    {!txn_begin} / {!txn_rollback} (or use {!Txn.apply}, which does) when
+    the caller must survive failures. *)
+
+type txn
+(** A transaction over one [apply_update]: cheap value snapshots of the
+    engine's small mutable state plus undo logs over the database
+    relations, the factor graph, and the grounding tables.  The clean
+    path pays journal bookkeeping only — no copy of the database or
+    graph. *)
+
+val txn_begin : t -> txn
+(** Arm the undo logs and snapshot the pre-update state. *)
+
+val txn_commit : t -> txn -> unit
+(** Detach the undo logs, keeping the update's effects. *)
+
+val txn_rollback : t -> txn -> unit
+(** Restore the engine to its state at {!txn_begin}.  Idempotent: if a
+    rollback is itself interrupted (the [engine.txn_rollback.*] fault
+    points), running it again converges to the same restored state. *)
 
 val rematerialize : t -> float
 (** Refresh the materialized baseline; returns elapsed seconds. *)

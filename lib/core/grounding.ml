@@ -10,6 +10,29 @@ module Plan = Dd_datalog.Plan
 module Dred = Dd_datalog.Dred
 module Metropolis = Dd_inference.Metropolis
 
+(* Typed failure taxonomy of the update path, shared with the
+   transactional supervisor ({!Txn}): the class decides which rung of the
+   degradation ladder can help (retry helps a [`Transient], nothing helps
+   a [`Malformed_delta]). *)
+type error =
+  [ `Malformed_delta of string
+  | `Transient of string
+  | `Inference_timeout of string
+  | `Internal of string ]
+
+exception Error of error
+
+let error_message : error -> string = function
+  | `Malformed_delta m -> "malformed delta: " ^ m
+  | `Transient m -> "transient: " ^ m
+  | `Inference_timeout m -> "inference timeout: " ^ m
+  | `Internal m -> "internal: " ^ m
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Grounding.Error (" ^ error_message e ^ ")")
+    | _ -> None)
+
 type t = {
   db : Database.t;
   mutable prog : Program.t;
@@ -112,7 +135,10 @@ let term_value env = function
   | Ast.Var name -> (
     match env name with
     | Some v -> v
-    | None -> invalid_arg "Grounding: unbound variable in rule head or weight")
+    | None ->
+      (* A rule whose head or weight mentions a variable its body never
+         binds: the program (or the delta that added the rule) is bad. *)
+      raise (Error (`Malformed_delta ("unbound variable " ^ name ^ " in rule head or weight"))))
 
 let atom_tuple env (atom : Ast.atom) =
   Array.of_list (List.map (term_value env) atom.Ast.args)
@@ -174,9 +200,14 @@ let rec add_grounding t pending (r : Program.inference_rule) env =
   | () -> ()
   | exception Missing_candidate (pred, tuple) ->
     if r.Program.populate_head then
-      invalid_arg
-        (Printf.sprintf "Grounding: no variable for %s%s (rule %s)" pred
-           (Tuple.to_string tuple) r.Program.name)
+      (* The deterministic pass guarantees a candidate row (and thus a
+         variable) for every grounding of a populating rule; a miss means
+         the engine's own bookkeeping is inconsistent. *)
+      raise
+        (Error
+           (`Internal
+             (Printf.sprintf "no variable for %s%s (rule %s)" pred (Tuple.to_string tuple)
+                r.Program.name)))
 
 and add_grounding_strict t pending (r : Program.inference_rule) env =
   let head_tuple = atom_tuple env r.Program.head in
@@ -232,7 +263,7 @@ let inference_rule_ast (r : Program.inference_rule) =
 let ground db prog =
   (match Program.validate prog with
   | Ok () -> ()
-  | Error e -> invalid_arg ("Grounding.ground: " ^ e));
+  | Error e -> raise (Error (`Malformed_delta ("Grounding.ground: " ^ e))));
   (* Pre-create declared tables so schemas are authoritative. *)
   List.iter
     (fun (name, schema) ->
@@ -278,6 +309,9 @@ let ground db prog =
     (Program.inference_rules prog);
   t
 
+let ground_checked db prog =
+  match ground db prog with t -> Ok t | exception Error e -> (Error e : (t, error) result)
+
 (* --- incremental grounding ------------------------------------------------ *)
 
 type update = {
@@ -308,7 +342,7 @@ let datalog_of_rule = function
       [ Ast.rule ~guards:r.Program.guards r.Program.head r.Program.body ]
     else []
 
-let extend t update =
+let extend ?(budget = Dd_util.Budget.unlimited) t update =
   let phase_timer = Dd_util.Timer.start () in
   let last_phase = ref 0.0 in
   let phase name =
@@ -320,7 +354,7 @@ let extend t update =
   let new_prog = Program.add_rules old_prog update.new_rules in
   (match Program.validate new_prog with
   | Ok () -> ()
-  | Error e -> invalid_arg ("Grounding.extend: " ^ e));
+  | Error e -> raise (Error (`Malformed_delta ("Grounding.extend: " ^ e))));
   let full_program = Program.deterministic_program new_prog in
   let old_inference = Program.inference_rules old_prog in
   (* Evaluate new rules against the pre-update state to seed DRed. *)
@@ -337,9 +371,9 @@ let extend t update =
   phase "seeds";
   let edb = match update.edb with Some d -> d | None -> Dred.Delta.create () in
   let flips =
-    match Dred.apply ~plans:t.plans ~seeds t.db full_program edb with
+    match Dred.apply ~plans:t.plans ~seeds ~budget t.db full_program edb with
     | Ok f -> f
-    | Error e -> invalid_arg ("Grounding.extend: " ^ e)
+    | Error e -> raise (Error (`Malformed_delta ("Grounding.extend: " ^ e)))
   in
   phase "dred";
   (* Crash here = base tables already mutated by DRed, graph untouched. *)
@@ -510,3 +544,66 @@ let extend t update =
     flips = Dred.Delta.total flips;
     needs_rebuild = !needs_rebuild;
   }
+
+let extend_checked ?budget t update =
+  match extend ?budget t update with
+  | report -> Ok report
+  | exception Error e -> (Error e : (report, error) result)
+
+(* --- transactional marks -------------------------------------------------- *)
+
+(* The grounding tables are append-only keyed by graph ids (vars, weights,
+   factors monotonically increasing), so a pre-update snapshot is just the
+   three counters plus the program value; rollback prunes every entry at
+   or above a recorded counter.  The graph itself is rolled back
+   separately ({!Graph.rollback}), and the database through the relation
+   journals — both owned by the engine's transaction. *)
+type mark = {
+  m_prog : Program.t;
+  m_vars : int;
+  m_weights : int;
+  m_factors : int;
+}
+
+let mark t =
+  {
+    m_prog = t.prog;
+    m_vars = Graph.num_vars t.graph;
+    m_weights = Graph.num_weights t.graph;
+    m_factors = Graph.num_factors t.graph;
+  }
+
+(* Idempotent: pruning by id thresholds converges, and the plan cache is
+   keyed by rule ASTs so entries for rolled-back rules are merely unused,
+   never wrong. *)
+let rollback t m =
+  t.prog <- m.m_prog;
+  Hashtbl.iter
+    (fun _pred table ->
+      let doomed =
+        Tuple.Hashtbl.fold
+          (fun tuple v acc -> if v >= m.m_vars then (tuple, v) :: acc else acc)
+          table []
+      in
+      List.iter
+        (fun (tuple, v) ->
+          Tuple.Hashtbl.remove table tuple;
+          Hashtbl.remove t.origins v)
+        doomed)
+    t.var_table;
+  let doomed_weights =
+    Hashtbl.fold
+      (fun key w acc -> if w >= m.m_weights then (key, w) :: acc else acc)
+      t.weight_table []
+  in
+  List.iter
+    (fun (key, w) ->
+      Hashtbl.remove t.weight_table key;
+      Hashtbl.remove t.weight_names w)
+    doomed_weights;
+  let doomed_factors =
+    Hashtbl.fold
+      (fun key fid acc -> if fid >= m.m_factors then key :: acc else acc)
+      t.factor_table []
+  in
+  List.iter (Hashtbl.remove t.factor_table) doomed_factors

@@ -31,6 +31,22 @@ module Metropolis = Dd_inference.Metropolis
 
 type t
 
+type error =
+  [ `Malformed_delta of string
+    (** the update (or the program it produced) is itself bad — no amount
+        of retrying or re-running will make it apply *)
+  | `Transient of string
+    (** environmental, worth retrying (injected faults classify here) *)
+  | `Inference_timeout of string  (** a cooperative {!Dd_util.Budget} expired *)
+  | `Internal of string  (** engine invariant violation *) ]
+(** Typed failure taxonomy of the update path.  Exposed as a polymorphic
+    variant so the transactional supervisor ({!Txn}) and the engine
+    boundary share it structurally. *)
+
+exception Error of error
+
+val error_message : error -> string
+
 type stats = {
   variables : int;
   factors : int;
@@ -39,7 +55,12 @@ type stats = {
 }
 
 val ground : Database.t -> Program.t -> t
-(** Full grounding.  Raises [Invalid_argument] on an invalid program. *)
+(** Full grounding.  Raises {!Error} ([`Malformed_delta]) on an invalid
+    program — a raising convenience wrapper over {!ground_checked} for
+    callers who treat a bad program as fatal. *)
+
+val ground_checked : Database.t -> Program.t -> (t, error) result
+(** Like {!ground}, with the failure as data instead of an exception. *)
 
 val graph : t -> Graph.t
 
@@ -82,6 +103,27 @@ type report = {
   needs_rebuild : bool;
 }
 
-val extend : t -> update -> report
+val extend : ?budget:Dd_util.Budget.t -> t -> update -> report
 (** Incremental grounding: mutates the database, program and graph held by
-    [t] and describes the graph delta. *)
+    [t] and describes the graph delta.  Raises {!Error} on failure:
+    [`Malformed_delta] for an invalid post-delta program or a DRed
+    rejection, [`Internal] for engine invariant violations.  [budget] is
+    polled once per DRed batch and per recursive-stratum recompute.
+
+    On a raise the database and graph may be left partially mutated — run
+    [extend] under an engine transaction ({!Engine.txn_begin} /
+    {!Txn.apply}) when that matters. *)
+
+val extend_checked : ?budget:Dd_util.Budget.t -> t -> update -> (report, error) result
+(** Like {!extend}, with the failure as data instead of an exception. *)
+
+type mark
+(** Pre-update snapshot of the grounding's lookup tables (counters plus
+    the program value — the tables are append-only keyed by graph ids). *)
+
+val mark : t -> mark
+
+val rollback : t -> mark -> unit
+(** Prune every variable / weight / factor table entry created after
+    {!mark} and restore the program.  Pair with {!Graph.rollback} (the
+    graph) and the relation journals (the database); idempotent. *)

@@ -1,0 +1,96 @@
+(** Transactional update application with a graceful-degradation ladder.
+
+    {!apply} runs one {!Engine.apply_update} under an engine transaction
+    ({!Engine.txn_begin}); on any failure the engine is rolled back to a
+    validated pre-update state and the supervisor walks the ladder:
+
+    - bounded {b retry} with deterministic exponential backoff (transient
+      failures only),
+    - {b rematerialize} the inference baseline and retry,
+    - full {b rerun}: rebuild a fresh engine from scratch over the
+      rolled-back database and program, then retry,
+    - {b quarantine}: park the update in the dead-letter queue with its
+      error, attempt count and a replayable serialized delta.
+
+    A poison update therefore costs one rejected batch, never a wedged
+    pipeline.  Backoff delays come from a dedicated PRNG stream and the
+    sleep hook defaults to a no-op, so tests are deterministic and
+    wall-clock-free. *)
+
+type error = Grounding.error
+
+val error_message : error -> string
+
+type options = {
+  max_retries : int;  (** retry rung width; transients only *)
+  backoff_base_s : float;  (** delay before retry [k] is
+      [base * 2^(k-1) * (0.5 + u)] with [u] from the backoff stream *)
+  backoff_seed : int;
+  rollback_retries : int;
+      (** extra attempts when the rollback itself is hit by an injected
+          fault, before a final attempt with injection suppressed *)
+  allow_rematerialize : bool;
+  allow_rerun : bool;
+  sleep : float -> unit;  (** called with each backoff delay; default no-op *)
+}
+
+val default_options : options
+
+type rung =
+  | Direct
+  | Retry of int  (** succeeded on retry [k] (1-based) *)
+  | Rematerialize
+  | Rerun
+
+val rung_to_string : rung -> string
+
+type outcome = {
+  report : Engine.report;
+  rung : rung;  (** where on the ladder the update finally succeeded *)
+  attempts : int;  (** total [apply_update] attempts, successful one included *)
+  backoffs_s : float list;  (** backoff delay chosen before each retry *)
+}
+
+type dead_letter = {
+  seq : int;  (** monotonic quarantine sequence number *)
+  error : error;  (** classification of the final failed attempt *)
+  attempts : int;
+  payload : string;  (** replayable serialized delta, CRC-guarded *)
+}
+
+type t
+
+val create : ?options:options -> Engine.t -> t
+
+val engine : t -> Engine.t
+(** The live engine.  Identity changes when a rerun rung succeeds (the
+    fresh engine replaces the old one) — re-read after each {!apply}. *)
+
+val dead_letters : t -> dead_letter list
+(** Quarantined updates, oldest first. *)
+
+val apply : t -> Grounding.update -> (outcome, error) result
+(** Apply one update transactionally, walking the degradation ladder on
+    failure.  [Ok] means the update committed (the rung says at what
+    cost); [Error] means every rung failed and the update was
+    quarantined.  Either way the engine is in a validated state:
+    committed on [Ok], rolled back on [Error]. *)
+
+val classify : exn -> error
+(** The boundary's error taxonomy: {!Grounding.Error} carries its own
+    classification, {!Dd_util.Budget.Exceeded} is [`Inference_timeout],
+    injected faults are [`Transient], [Invalid_argument] is
+    [`Malformed_delta], anything else [`Internal]. *)
+
+val encode_update : Grounding.update -> string
+(** Serialize an update as a dead-letter payload (magic + CRC-32 +
+    marshalled bytes). *)
+
+val decode_update : string -> (Grounding.update, string) result
+
+val decode_dead_letter : dead_letter -> (Grounding.update, string) result
+
+val replay : t -> dead_letter -> (outcome, error) result
+(** Decode a quarantined update and {!apply} it again; on success the
+    letter is removed from the queue.  A corrupt payload is a
+    [`Malformed_delta]. *)

@@ -1,6 +1,7 @@
 module Tuple = Dd_relational.Tuple
 module Relation = Dd_relational.Relation
 module Database = Dd_relational.Database
+module Budget = Dd_util.Budget
 
 module Delta = struct
   type t = (string, (Tuple.t * int) list ref) Hashtbl.t
@@ -93,7 +94,7 @@ let diff_relations old_rel new_rel =
     old_rel;
   (!entries, !flips)
 
-let apply ?plans ?(seeds = []) db program changes =
+let apply ?plans ?(seeds = []) ?(budget = Budget.unlimited) db program changes =
   let plans =
     match plans with
     | Some c -> c
@@ -184,6 +185,9 @@ let apply ?plans ?(seeds = []) db program changes =
   let current_lookup = Engine.lookup_in db in
   let current_view pred = Plan.whole (current_lookup pred) in
   let consume b =
+    (* One poll per elementary batch: a pathological cascade degrades into
+       a classified timeout instead of an unbounded semi-naive run. *)
+    Budget.check budget "dred.consume";
     let consume_start = Unix.gettimeofday () in
     let rel =
       match Database.find_opt db b.pred with
@@ -282,6 +286,7 @@ let apply ?plans ?(seeds = []) db program changes =
         consume (Queue.pop queues.(bucket))
       done;
       if si >= 0 && dirty_recursive.(si) then begin
+        Budget.check budget "dred.recompute";
         dirty_recursive.(si) <- false;
         let s = strata_arr.(si) in
         (* Counting is not exact under recursion (cyclic derivation

@@ -42,6 +42,7 @@ end
 val apply :
   ?plans:Plan.Cache.t ->
   ?seeds:(string * (Dd_relational.Tuple.t * int) list) list ->
+  ?budget:Dd_util.Budget.t ->
   Dd_relational.Database.t ->
   Ast.program ->
   Delta.t ->

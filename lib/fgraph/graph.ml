@@ -40,12 +40,32 @@ let vec_set v i x =
 
 let vec_copy v = { v with data = Array.copy v.data }
 
+(* Inverse operations over pre-transaction slots.  Appends need no entry:
+   rollback truncates the growable arrays back to the recorded base
+   lengths, so only in-place mutations of pre-existing slots are logged.
+   Adjacency lists are persistent and prepend-only, so one entry holding
+   the old list head restores a variable's adjacency in O(1) no matter how
+   many factors were added. *)
+type undo =
+  | U_evidence of var * evidence
+  | U_weight of weight_id * float
+  | U_factor of int * factor
+  | U_adjacency of var * int list
+
+type journal = {
+  base_vars : int;
+  base_weights : int;
+  base_factors : int;
+  mutable entries : undo list;  (* newest first *)
+}
+
 type t = {
   evidence : evidence vec;
   weights : float vec;
   learnable : bool vec;
   factors : factor vec;
   adjacency : int list vec;  (** var -> factor indices *)
+  mutable journal : journal option;
 }
 
 let create () =
@@ -56,6 +76,7 @@ let create () =
     factors =
       vec_create { head = None; bodies = [||]; weight_id = 0; semantics = Semantics.Linear };
     adjacency = vec_create [];
+    journal = None;
   }
 
 let num_vars t = t.evidence.len
@@ -94,7 +115,14 @@ let add_factor t f =
     invalid_arg "Graph.add_factor: unknown weight";
   vec_push t.factors f;
   let idx = t.factors.len - 1 in
-  List.iter (fun v -> vec_set t.adjacency v (idx :: vec_get t.adjacency v)) (vars_of_factor f);
+  List.iter
+    (fun v ->
+      let old = vec_get t.adjacency v in
+      (match t.journal with
+      | Some j when v < j.base_vars -> j.entries <- U_adjacency (v, old) :: j.entries
+      | _ -> ());
+      vec_set t.adjacency v (idx :: old))
+    (vars_of_factor f);
   idx
 
 let pairwise t ~weight a b =
@@ -127,26 +155,44 @@ let implication t ~weight ~semantics body head =
 let extend_factor t i bodies =
   if Array.length bodies > 0 then begin
     let f = vec_get t.factors i in
+    (match t.journal with
+    | Some j when i < j.base_factors -> j.entries <- U_factor (i, f) :: j.entries
+    | _ -> ());
     let known = vars_of_factor f in
     let extended = { f with bodies = Array.append f.bodies bodies } in
     vec_set t.factors i extended;
     let fresh =
       List.filter (fun v -> not (List.mem v known)) (vars_of_factor extended)
     in
-    List.iter (fun v -> vec_set t.adjacency v (i :: vec_get t.adjacency v)) fresh
+    List.iter
+      (fun v ->
+        let old = vec_get t.adjacency v in
+        (match t.journal with
+        | Some j when v < j.base_vars -> j.entries <- U_adjacency (v, old) :: j.entries
+        | _ -> ());
+        vec_set t.adjacency v (i :: old))
+      fresh
   end
 
 let factor t i = vec_get t.factors i
 
 let weight_value t w = vec_get t.weights w
 
-let set_weight t w v = vec_set t.weights w v
+let set_weight t w v =
+  (match t.journal with
+  | Some j when w < j.base_weights -> j.entries <- U_weight (w, vec_get t.weights w) :: j.entries
+  | _ -> ());
+  vec_set t.weights w v
 
 let weight_learnable t w = vec_get t.learnable w
 
 let evidence_of t v = vec_get t.evidence v
 
-let set_evidence t v e = vec_set t.evidence v e
+let set_evidence t v e =
+  (match t.journal with
+  | Some j when v < j.base_vars -> j.entries <- U_evidence (v, vec_get t.evidence v) :: j.entries
+  | _ -> ());
+  vec_set t.evidence v e
 
 let factors_of_var t v = vec_get t.adjacency v
 
@@ -214,7 +260,51 @@ let copy t =
     learnable = vec_copy t.learnable;
     factors = vec_copy t.factors;
     adjacency = vec_copy t.adjacency;
+    journal = None;
   }
+
+(* --- transactional journal ------------------------------------------------ *)
+
+let journal_begin t =
+  let j =
+    {
+      base_vars = num_vars t;
+      base_weights = num_weights t;
+      base_factors = num_factors t;
+      entries = [];
+    }
+  in
+  t.journal <- Some j;
+  j
+
+let journal_end t = t.journal <- None
+
+let vec_truncate v n =
+  if n < v.len then begin
+    for i = n to v.len - 1 do
+      v.data.(i) <- v.dummy
+    done;
+    v.len <- n
+  end
+
+(* Idempotent: entries carry absolute pre-transaction values and are
+   applied newest-to-oldest, so the oldest (original) value wins for a
+   slot touched several times, and re-running a partially completed
+   rollback converges to the same state. *)
+let rollback t j =
+  t.journal <- None;
+  List.iter
+    (function
+      | U_evidence (v, e) -> if v < j.base_vars then vec_set t.evidence v e
+      | U_weight (w, x) -> if w < j.base_weights then vec_set t.weights w x
+      | U_factor (i, f) -> if i < j.base_factors then vec_set t.factors i f
+      | U_adjacency (v, l) -> if v < j.base_vars then vec_set t.adjacency v l)
+    j.entries;
+  vec_truncate t.evidence j.base_vars;
+  vec_truncate t.adjacency j.base_vars;
+  vec_truncate t.weights j.base_weights;
+  vec_truncate t.learnable j.base_weights;
+  vec_truncate t.factors j.base_factors
 
 let freeze_assignment t =
   Array.init (num_vars t) (fun v ->

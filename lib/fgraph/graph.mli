@@ -113,6 +113,26 @@ val total_energy : t -> (var -> bool) -> float
 val copy : t -> t
 (** Independent deep copy (used to materialize snapshots). *)
 
+type journal
+(** An undo log over one transactional episode.  Appends (new variables,
+    weights, factors) are undone by truncating back to the recorded base
+    counts; in-place mutations of pre-existing slots ({!set_evidence},
+    {!set_weight}, {!extend_factor}, adjacency prepends from
+    {!add_factor}) are logged as inverse operations holding the absolute
+    pre-transaction value. *)
+
+val journal_begin : t -> journal
+(** Start recording.  Replaces any previously active journal (the old one
+    can no longer be rolled back through). *)
+
+val journal_end : t -> unit
+(** Stop recording (commit: the journal is simply dropped). *)
+
+val rollback : t -> journal -> unit
+(** Restore the graph to its state at [journal_begin] and stop recording.
+    Idempotent — entries carry absolute previous values, so re-running a
+    partially completed rollback converges. *)
+
 val freeze_assignment : t -> bool array
 (** A fresh assignment array: evidence variables at their fixed value,
     query variables false. *)

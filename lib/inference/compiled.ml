@@ -2,6 +2,7 @@ module Graph = Dd_fgraph.Graph
 module Semantics = Dd_fgraph.Semantics
 module Prng = Dd_util.Prng
 module Stats = Dd_util.Stats
+module Budget = Dd_util.Budget
 
 (* Semantics tags, kept as ints so the energy kernel branches on an
    immediate instead of loading a constructor. *)
@@ -358,13 +359,15 @@ let sweep_slice rng st slice =
     resample_var rng st (Array.unsafe_get slice i)
   done
 
-let marginals ?(burn_in = 10) rng k ~sweeps =
+let marginals ?(burn_in = 10) ?(budget = Budget.unlimited) rng k ~sweeps =
   let st = make_state rng k in
   for _ = 1 to burn_in do
+    Budget.check budget "compiled.burn_in_sweep";
     sweep rng st
   done;
   let totals = Array.make k.nvars 0 in
   for _ = 1 to sweeps do
+    Budget.check budget "compiled.sweep";
     sweep rng st;
     accumulate_true st totals
   done;

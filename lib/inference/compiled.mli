@@ -125,8 +125,11 @@ val sweep_slice : Dd_util.Prng.t -> state -> Graph.var array -> unit
     color share no factor, so concurrent slices touch disjoint counter
     and assignment cells. *)
 
-val marginals : ?burn_in:int -> Dd_util.Prng.t -> t -> sweeps:int -> float array
-(** Fresh-state marginals; drop-in for {!Fast_gibbs.marginals}. *)
+val marginals :
+  ?burn_in:int -> ?budget:Dd_util.Budget.t -> Dd_util.Prng.t -> t -> sweeps:int -> float array
+(** Fresh-state marginals; drop-in for {!Fast_gibbs.marginals}.  [budget]
+    is polled once per sweep (burn-in included); exhaustion raises
+    {!Dd_util.Budget.Exceeded} instead of finishing the chain. *)
 
 (** {1 Learning support} *)
 

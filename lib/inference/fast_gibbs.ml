@@ -179,16 +179,18 @@ let sweep rng t =
       | Graph.Evidence _ -> ()
     done
 
-let marginals ?(burn_in = 10) rng g ~sweeps =
-  Compiled.marginals ~burn_in rng (Compiled.compile g) ~sweeps
+let marginals ?(burn_in = 10) ?budget rng g ~sweeps =
+  Compiled.marginals ~burn_in ?budget rng (Compiled.compile g) ~sweeps
 
-let sample_worlds ?(burn_in = 10) ?(spacing = 1) rng g ~n =
+let sample_worlds ?(burn_in = 10) ?(spacing = 1) ?(budget = Dd_util.Budget.unlimited) rng g ~n =
   let t = create rng g in
   for _ = 1 to burn_in do
+    Dd_util.Budget.check budget "fast_gibbs.burn_in_sweep";
     sweep rng t
   done;
   Array.init n (fun _ ->
       for _ = 1 to spacing do
+        Dd_util.Budget.check budget "fast_gibbs.sweep";
         sweep rng t
       done;
       assignment t)

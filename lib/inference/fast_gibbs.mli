@@ -57,11 +57,19 @@ val resample_var : Dd_util.Prng.t -> t -> Graph.var -> unit
 val sweep : Dd_util.Prng.t -> t -> unit
 (** One pass over the query variables. *)
 
-val marginals : ?burn_in:int -> Dd_util.Prng.t -> Graph.t -> sweeps:int -> float array
-(** Drop-in replacement for {!Gibbs.marginals}. *)
+val marginals :
+  ?burn_in:int -> ?budget:Dd_util.Budget.t -> Dd_util.Prng.t -> Graph.t -> sweeps:int -> float array
+(** Drop-in replacement for {!Gibbs.marginals}.  [budget] is polled once
+    per sweep. *)
 
 val sample_worlds :
-  ?burn_in:int -> ?spacing:int -> Dd_util.Prng.t -> Graph.t -> n:int -> bool array array
+  ?burn_in:int ->
+  ?spacing:int ->
+  ?budget:Dd_util.Budget.t ->
+  Dd_util.Prng.t ->
+  Graph.t ->
+  n:int ->
+  bool array array
 
 val sweeps_to_converge :
   ?tolerance:float ->

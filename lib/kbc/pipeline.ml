@@ -167,3 +167,21 @@ let update_of ?semantics rule_id =
 
 let full_program ?semantics () =
   Program.add_rules (base_program ()) (List.concat_map (rules_of ?semantics) all_rule_ids)
+
+(* --- transactional driver -------------------------------------------------- *)
+
+module Txn = Dd_core.Txn
+
+type drive_step = {
+  step_rule : rule_id;
+  step_result : (Txn.outcome, Txn.error) result;
+}
+
+let drive ?semantics ?txn_options engine rule_ids =
+  let txn = Txn.create ?options:txn_options engine in
+  let steps =
+    List.map
+      (fun rid -> { step_rule = rid; step_result = Txn.apply txn (update_of ?semantics rid) })
+      rule_ids
+  in
+  (txn, steps)

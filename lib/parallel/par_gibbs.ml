@@ -3,6 +3,7 @@ module Gibbs = Dd_inference.Gibbs
 module Fast_gibbs = Dd_inference.Fast_gibbs
 module Compiled = Dd_inference.Compiled
 module Prng = Dd_util.Prng
+module Budget = Dd_util.Budget
 
 type parallel = {
   rngs : Prng.t array;  (** stream [d] is consumed only by domain [d] *)
@@ -82,23 +83,38 @@ let sweep t =
   | Sequential rng -> Compiled.sweep rng t.state
   | Parallel p -> Array.iter (run_phase t.state p) p.plan
 
+(* Budget polls sit on the coordinator thread between color phases, so a
+   timeout lands at a barrier — every domain has finished its slice and
+   the shared state is consistent when [Exceeded] escapes. *)
+let sweep_budgeted budget t =
+  match t.mode with
+  | Sequential rng ->
+    Budget.check budget "par_gibbs.sweep";
+    Compiled.sweep rng t.state
+  | Parallel p ->
+    Array.iter
+      (fun phase ->
+        Budget.check budget "par_gibbs.color_phase";
+        run_phase t.state p phase)
+      p.plan
+
 let shutdown t =
   match t.mode with
   | Sequential _ -> ()
   | Parallel p -> if p.owns_pool then Pool.shutdown p.pool
 
-let marginals ?(burn_in = 10) ?kernel ~domains rng g ~sweeps =
+let marginals ?(burn_in = 10) ?(budget = Budget.unlimited) ?kernel ~domains rng g ~sweeps =
   let t = create ?kernel ~domains rng g in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->
       for _ = 1 to burn_in do
-        sweep t
+        sweep_budgeted budget t
       done;
       let n = Graph.num_vars g in
       let totals = Array.make n 0 in
       for _ = 1 to sweeps do
-        sweep t;
+        sweep_budgeted budget t;
         Compiled.accumulate_true t.state totals
       done;
       Array.map (fun c -> float_of_int c /. float_of_int (max 1 sweeps)) totals)

@@ -70,6 +70,7 @@ val shutdown : t -> unit
 
 val marginals :
   ?burn_in:int ->
+  ?budget:Dd_util.Budget.t ->
   ?kernel:Dd_inference.Compiled.t ->
   domains:int ->
   Dd_util.Prng.t ->
@@ -78,7 +79,9 @@ val marginals :
   float array
 (** Single-chain marginals by color-synchronous sweeps.  Drop-in for
     {!Dd_inference.Fast_gibbs.marginals} (and bit-identical to it when
-    [domains = 1]).  [?kernel] as in {!create}. *)
+    [domains = 1]).  [?kernel] as in {!create}.  [budget] is polled on the
+    coordinator between color phases (per sweep when sequential), so
+    exhaustion surfaces at a barrier with all domains idle. *)
 
 val sample_worlds :
   ?burn_in:int -> ?spacing:int -> domains:int -> Dd_util.Prng.t -> Graph.t -> n:int -> bool array array

@@ -5,10 +5,25 @@ type t = {
   (* Cached hash indexes keyed by the indexed column positions; maintained
      incrementally on membership changes. *)
   indexes : (int array, (Tuple.t, Tuple.t list) Hashtbl.t) Hashtbl.t;
+  (* Undo-log hook: called with (tuple, previous count) immediately before
+     any mutation of that tuple's multiplicity.  Detached (None) outside a
+     transaction; must be detached before marshalling the relation. *)
+  mutable journal : (Tuple.t -> int -> unit) option;
 }
 
 let create ?(name = "<anon>") schema =
-  { name; schema; rows = Tuple.Hashtbl.create 64; indexes = Hashtbl.create 4 }
+  {
+    name;
+    schema;
+    rows = Tuple.Hashtbl.create 64;
+    indexes = Hashtbl.create 4;
+    journal = None;
+  }
+
+let set_journal t hook = t.journal <- hook
+
+let note_journal t tup prev =
+  match t.journal with None -> () | Some f -> f tup prev
 
 let index_add indexes tuple =
   Hashtbl.iter
@@ -50,6 +65,7 @@ let insert ?(count = 1) t tup =
          (Tuple.to_string tup) t.name
          (Format.asprintf "%a" Schema.pp t.schema));
   let current = try Tuple.Hashtbl.find t.rows tup with Not_found -> 0 in
+  note_journal t tup current;
   Tuple.Hashtbl.replace t.rows tup (current + count);
   if current = 0 then index_add t.indexes tup
 
@@ -58,6 +74,7 @@ let remove ?(count = 1) t tup =
   match Tuple.Hashtbl.find_opt t.rows tup with
   | None -> 0
   | Some current ->
+    note_journal t tup current;
     let removed = min count current in
     if current - removed = 0 then begin
       Tuple.Hashtbl.remove t.rows tup;
@@ -67,12 +84,17 @@ let remove ?(count = 1) t tup =
     removed
 
 let delete_all t tup =
-  if Tuple.Hashtbl.mem t.rows tup then begin
+  match Tuple.Hashtbl.find_opt t.rows tup with
+  | None -> ()
+  | Some current ->
+    note_journal t tup current;
     Tuple.Hashtbl.remove t.rows tup;
     index_remove t.indexes tup
-  end
 
 let clear t =
+  (match t.journal with
+  | None -> ()
+  | Some f -> Tuple.Hashtbl.iter f t.rows);
   Tuple.Hashtbl.reset t.rows;
   Hashtbl.reset t.indexes
 
@@ -84,7 +106,23 @@ let to_list t = fold (fun tup _ acc -> tup :: acc) t []
 
 let to_counted_list t = fold (fun tup c acc -> (tup, c) :: acc) t []
 
-let copy t = { t with rows = Tuple.Hashtbl.copy t.rows; indexes = Hashtbl.create 4 }
+let copy t =
+  { t with rows = Tuple.Hashtbl.copy t.rows; indexes = Hashtbl.create 4; journal = None }
+
+(* Force a tuple's multiplicity to [target] (0 = absent) while keeping the
+   cached indexes consistent.  Bypasses the journal — this is the undo-log
+   replay primitive, and replaying must not re-log. *)
+let restore_count t tup target =
+  let current = try Tuple.Hashtbl.find t.rows tup with Not_found -> 0 in
+  if current <> target then
+    if target <= 0 then begin
+      Tuple.Hashtbl.remove t.rows tup;
+      index_remove t.indexes tup
+    end
+    else begin
+      Tuple.Hashtbl.replace t.rows tup target;
+      if current = 0 then index_add t.indexes tup
+    end
 
 let of_list ?name schema tuples =
   let t = create ?name schema in

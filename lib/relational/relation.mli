@@ -56,6 +56,23 @@ val copy : t -> t
     shared with) the copy — the two relations maintain indexes
     independently from the moment of the copy. *)
 
+val set_journal : t -> (Tuple.t -> int -> unit) option -> unit
+(** Attach (or detach, with [None]) an undo-log hook.  While attached, every
+    mutation of a tuple's multiplicity — {!insert}, {!remove},
+    {!delete_all}, and each row dropped by {!clear} — first calls the hook
+    with the tuple and its {e previous} count, so a transaction can record
+    the inverse operation before the store changes.  The hook must not
+    mutate the relation.  {!copy} does not carry the hook over, and the
+    hook must be detached before the relation is marshalled (closures do
+    not marshal). *)
+
+val restore_count : t -> Tuple.t -> int -> unit
+(** [restore_count t tup n] forces [tup]'s multiplicity to exactly [n]
+    ([n <= 0] removes it), maintaining cached indexes and bypassing any
+    attached journal.  This is the undo-log replay primitive: applying a
+    journal's [(tuple, previous count)] records newest-to-oldest restores
+    the pre-transaction contents, and replaying is idempotent. *)
+
 val of_list : ?name:string -> Schema.t -> Tuple.t list -> t
 
 val equal_contents : t -> t -> bool

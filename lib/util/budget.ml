@@ -1,0 +1,41 @@
+(* Cooperative deadline budgets for long-running engine steps.
+
+   Gibbs sweep loops and semi-naive grounding rounds poll an armed budget
+   at their natural step boundaries (one sweep, one color phase, one delta
+   batch); when the budget is exhausted the step raises [Exceeded] instead
+   of hanging a domain pool.  The [Ticks] mode counts polls rather than
+   wall-clock, so tests can exercise the timeout path deterministically. *)
+
+exception Exceeded of string
+
+type spec =
+  | Unlimited
+  | Ms of float
+  | Ticks of int
+
+type t =
+  | No_limit
+  | Deadline of { timer : Timer.t; limit_s : float }
+  | Tick of { mutable left : int }
+
+let start = function
+  | Unlimited -> No_limit
+  | Ms ms -> Deadline { timer = Timer.start (); limit_s = max 0.0 ms /. 1000.0 }
+  | Ticks n -> Tick { left = max 0 n }
+
+let unlimited = No_limit
+
+let check t site =
+  match t with
+  | No_limit -> ()
+  | Deadline d -> if Timer.elapsed_s d.timer >= d.limit_s then raise (Exceeded site)
+  | Tick k ->
+    if k.left <= 0 then raise (Exceeded site);
+    k.left <- k.left - 1
+
+let is_exceeded = function Exceeded _ -> true | _ -> false
+
+let spec_to_string = function
+  | Unlimited -> "unlimited"
+  | Ms ms -> Printf.sprintf "%.1fms" ms
+  | Ticks n -> Printf.sprintf "%d ticks" n

@@ -58,6 +58,16 @@ let reset () =
       p.fired <- 0)
     registry
 
+(* When > 0, hits register but never fire.  Used by the transactional
+   supervisor's last-resort rollback: after bounded rollback retries under
+   injection, the final attempt must be allowed to complete (rollback is
+   idempotent, so re-running it under suppression is safe). *)
+let suppress_depth = ref 0
+
+let with_suppressed f =
+  incr suppress_depth;
+  Fun.protect ~finally:(fun () -> decr suppress_depth) f
+
 let hit name =
   let p = find_or_register name in
   p.hits <- p.hits + 1;
@@ -67,7 +77,7 @@ let hit name =
     | Nth n -> p.hits = n
     | Probability prob -> Prng.bernoulli !rng prob
   in
-  if inject then begin
+  if inject && !suppress_depth = 0 then begin
     p.fired <- p.fired + 1;
     raise (Injected name)
   end

@@ -47,3 +47,13 @@ val registered : unit -> string list
 (** All point names seen so far, sorted. *)
 
 val is_injected : exn -> bool
+
+val with_suppressed : (unit -> 'a) -> 'a
+(** [with_suppressed f] runs [f] with injection disabled: hits still
+    register (and count), but armed points never fire.  This exists for
+    exactly one caller — the transactional supervisor's last-resort
+    rollback.  Rollback is idempotent, so after bounded retries under
+    injection the supervisor re-runs it once suppressed rather than
+    abandoning the engine in a half-restored state.  (A checkpoint-style
+    harness treating [Injected] as a process crash should never need
+    this.) *)

@@ -15,6 +15,11 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] duplicates the current state; the copy evolves independently. *)
 
+val assign : t -> t -> unit
+(** [assign dst src] overwrites [dst]'s state with [src]'s.  Used to restore
+    a generator to a previously {!copy}-ed state in place (transactional
+    rollback), since consumers hold the generator by reference. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)

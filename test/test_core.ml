@@ -415,10 +415,10 @@ let test_extend_rejects_invalid_rules () =
         populate_head = true;
       }
   in
-  Alcotest.(check bool) "raises" true
+  Alcotest.(check bool) "raises typed malformed-delta error" true
     (match Grounding.extend grounding (Grounding.rules_update [ bad ]) with
     | _ -> false
-    | exception Invalid_argument _ -> true)
+    | exception Grounding.Error (`Malformed_delta _) -> true)
 
 (* --- materialization ---------------------------------------------------------- *)
 
