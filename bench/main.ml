@@ -31,6 +31,7 @@ module _ = Ablations
 module _ = Calibration_bench
 module _ = Fig_recovery
 module _ = Robustness
+module _ = Serving
 module _ = Scaling
 module _ = Gibbs_kernel
 module _ = Grounding_bench

@@ -78,12 +78,19 @@ type dead_letter = {
   payload : string;
 }
 
+type event =
+  | Committed of outcome
+  | Degraded of rung
+  | Quarantined of dead_letter
+
 type t = {
   mutable engine : Engine.t;
   topts : options;
   backoff_rng : Prng.t;
   mutable seq : int;
   mutable dead : dead_letter list;  (* newest first *)
+  mutable commits : int;
+  mutable observers : (event -> unit) list;  (* registration order *)
 }
 
 let create ?(options = default_options) engine =
@@ -93,11 +100,23 @@ let create ?(options = default_options) engine =
     backoff_rng = Prng.create options.backoff_seed;
     seq = 0;
     dead = [];
+    commits = 0;
+    observers = [];
   }
 
 let engine t = t.engine
 
 let dead_letters t = List.rev t.dead
+
+let commits t = t.commits
+
+let on_event t f = t.observers <- t.observers @ [ f ]
+
+let emit t event = List.iter (fun f -> f event) t.observers
+
+let restore_dead_letters (t : t) (letters : dead_letter list) =
+  List.iter (fun (dl : dead_letter) -> t.seq <- max t.seq dl.seq) letters;
+  t.dead <- List.rev_append letters t.dead
 
 (* --- error classification ------------------------------------------------- *)
 
@@ -195,11 +214,16 @@ let apply t update =
     try_once t update
   in
   let finish rung report =
-    Ok { report; rung; attempts = !attempts; backoffs_s = List.rev !backoffs }
+    let outcome = { report; rung; attempts = !attempts; backoffs_s = List.rev !backoffs } in
+    t.commits <- t.commits + 1;
+    emit t (Committed outcome);
+    Ok outcome
   in
   let quarantine err =
     t.seq <- t.seq + 1;
-    t.dead <- { seq = t.seq; error = err; attempts = !attempts; payload = encode_update update } :: t.dead;
+    let dl = { seq = t.seq; error = err; attempts = !attempts; payload = encode_update update } in
+    t.dead <- dl :: t.dead;
+    emit t (Quarantined dl);
     Error err
   in
   (* Rung 0/1: direct attempt, then bounded retry with deterministic
@@ -214,6 +238,7 @@ let apply t update =
         *. (0.5 +. Prng.float_unit t.backoff_rng)
       in
       backoffs := delay :: !backoffs;
+      emit t (Degraded (Retry k));
       t.topts.sleep delay;
       (match attempt () with Ok r -> Ok (Retry k, r) | Error e -> retry (k + 1) e)
     | _ -> Error err
@@ -227,11 +252,13 @@ let apply t update =
        variational artifact) is repaired here. *)
     let remat =
       if not t.topts.allow_rematerialize then Error err1
-      else
+      else begin
+        emit t (Degraded Rematerialize);
         match Engine.rematerialize t.engine with
         | _seconds -> (
           match attempt () with Ok r -> Ok (Rematerialize, r) | Error e -> Error e)
         | exception e -> Error (classify e)
+      end
     in
     match remat with
     | Ok (rung, r) -> finish rung r
@@ -242,7 +269,8 @@ let apply t update =
          engine replaces the old one. *)
       let rerun =
         if not t.topts.allow_rerun then Error err2
-        else
+        else begin
+          emit t (Degraded Rerun);
           match
             Fault.hit "txn.rerun.pre_create";
             let ground = Engine.grounding t.engine in
@@ -253,6 +281,7 @@ let apply t update =
             t.engine <- fresh;
             match attempt () with Ok r -> Ok (Rerun, r) | Error e -> Error e)
           | exception e -> Error (classify e)
+        end
       in
       match rerun with
       | Ok (rung, r) -> finish rung r

@@ -58,6 +58,17 @@ type dead_letter = {
   payload : string;  (** replayable serialized delta, CRC-guarded *)
 }
 
+type event =
+  | Committed of outcome
+      (** an update committed; the engine (re-read it via {!engine}) holds
+          the post-commit state when the observers run *)
+  | Degraded of rung
+      (** the supervisor is about to attempt this non-direct rung — the
+          writer has entered degraded mode *)
+  | Quarantined of dead_letter
+      (** every rung failed; the update was parked and the engine rolled
+          back to (and validated at) its last committed state *)
+
 type t
 
 val create : ?options:options -> Engine.t -> t
@@ -68,6 +79,22 @@ val engine : t -> Engine.t
 
 val dead_letters : t -> dead_letter list
 (** Quarantined updates, oldest first. *)
+
+val commits : t -> int
+(** Updates committed through this supervisor (replays included). *)
+
+val on_event : t -> (event -> unit) -> unit
+(** Subscribe to the supervisor's lifecycle.  Observers run synchronously
+    on the writer's domain, in registration order, after the engine has
+    reached the state the event describes — a [Committed] observer that
+    snapshots {!engine} sees exactly the committed state.  An observer
+    must not raise. *)
+
+val restore_dead_letters : t -> dead_letter list -> unit
+(** Prepend previously quarantined letters (oldest first, e.g. loaded
+    from a persisted store after a restart) to the queue and advance the
+    quarantine sequence counter past theirs, so future quarantines do not
+    reuse their sequence numbers. *)
 
 val apply : t -> Grounding.update -> (outcome, error) result
 (** Apply one update transactionally, walking the degradation ladder on

@@ -359,6 +359,23 @@ let sweep_slice rng st slice =
     resample_var rng st (Array.unsafe_get slice i)
   done
 
+(* Identical PRNG consumption to [sweep_slice]; only the budget is polled
+   between chunks, so a slice much larger than [every] cannot outlive its
+   deadline by more than one chunk.  Safe from worker domains: [Budget.t]
+   is domain-safe to poll. *)
+let sweep_slice_budgeted ?(every = 128) ~budget ~site rng st slice =
+  let n = Array.length slice in
+  let every = max 1 every in
+  let i = ref 0 in
+  while !i < n do
+    Budget.check budget site;
+    let stop = min n (!i + every) in
+    for j = !i to stop - 1 do
+      resample_var rng st (Array.unsafe_get slice j)
+    done;
+    i := stop
+  done
+
 let marginals ?(burn_in = 10) ?(budget = Budget.unlimited) rng k ~sweeps =
   let st = make_state rng k in
   for _ = 1 to burn_in do

@@ -125,6 +125,20 @@ val sweep_slice : Dd_util.Prng.t -> state -> Graph.var array -> unit
     color share no factor, so concurrent slices touch disjoint counter
     and assignment cells. *)
 
+val sweep_slice_budgeted :
+  ?every:int ->
+  budget:Dd_util.Budget.t ->
+  site:string ->
+  Dd_util.Prng.t ->
+  state ->
+  Graph.var array ->
+  unit
+(** {!sweep_slice} with a cooperative budget poll every [every] (default
+    128) variables, so one oversized color slice cannot stretch a step
+    deadline: exhaustion raises {!Dd_util.Budget.Exceeded} from the
+    polling worker.  Draws from the PRNG exactly as {!sweep_slice} does
+    for the variables it completes. *)
+
 val marginals :
   ?burn_in:int -> ?budget:Dd_util.Budget.t -> Dd_util.Prng.t -> t -> sweeps:int -> float array
 (** Fresh-state marginals; drop-in for {!Fast_gibbs.marginals}.  [budget]

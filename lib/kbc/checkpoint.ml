@@ -24,6 +24,7 @@
 
 module Engine = Dd_core.Engine
 module Grounding = Dd_core.Grounding
+module Txn = Dd_core.Txn
 module Graph = Dd_fgraph.Graph
 module Serialize = Dd_fgraph.Serialize
 module Database = Dd_relational.Database
@@ -151,11 +152,116 @@ let apply_update store engine update =
   log_update store update;
   Engine.apply_update engine update
 
+(* --- dead-letter persistence ------------------------------------------------ *)
+
+(* Quarantined updates survive a restart in a DEADLETTERS file published
+   atomically next to the checkpoints.  Each letter keeps the supervisor's
+   metadata plus its replayable payload in the exact [Txn.encode_update]
+   encoding (magic + CRC-32 + marshalled bytes), so a loaded letter decodes
+   through the same CRC gate as a live one.  Lengths are recorded
+   explicitly: a torn or tampered file fails structurally before any
+   payload reaches [Marshal]. *)
+
+let dead_letters_path store = Filename.concat store.dir "DEADLETTERS"
+
+let error_tag : Txn.error -> string = function
+  | `Malformed_delta _ -> "malformed"
+  | `Transient _ -> "transient"
+  | `Inference_timeout _ -> "timeout"
+  | `Internal _ -> "internal"
+
+let error_detail : Txn.error -> string = function
+  | `Malformed_delta m | `Transient m | `Inference_timeout m | `Internal m -> m
+
+let error_of_tag tag message : Txn.error option =
+  match tag with
+  | "malformed" -> Some (`Malformed_delta message)
+  | "transient" -> Some (`Transient message)
+  | "timeout" -> Some (`Inference_timeout message)
+  | "internal" -> Some (`Internal message)
+  | _ -> None
+
+let save_dead_letters store letters =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer "dddead 1\n";
+  List.iter
+    (fun (dl : Txn.dead_letter) ->
+      let message = error_detail dl.Txn.error in
+      Buffer.add_string buffer
+        (Printf.sprintf "letter %d %d %s %d %d\n" dl.Txn.seq dl.Txn.attempts
+           (error_tag dl.Txn.error) (String.length message)
+           (String.length dl.Txn.payload));
+      Buffer.add_string buffer message;
+      Buffer.add_char buffer '\n';
+      Buffer.add_string buffer dl.Txn.payload;
+      Buffer.add_char buffer '\n')
+    letters;
+  Buffer.add_string buffer "end\n";
+  write_file_atomic (dead_letters_path store) (Buffer.contents buffer)
+
 (* --- load + recovery ------------------------------------------------------- *)
 
 exception Bad of error
 
 let corrupt fmt = Printf.ksprintf (fun m -> raise (Bad (Corrupt m))) fmt
+
+let load_dead_letters store =
+  let path = dead_letters_path store in
+  if not (Sys.file_exists path) then Ok []
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let line () = try input_line ic with End_of_file -> corrupt "truncated DEADLETTERS" in
+          (match line () with
+          | "dddead 1" -> ()
+          | other -> corrupt "bad DEADLETTERS header: %s" other);
+          let read_exact len what =
+            let bytes = Bytes.create len in
+            (try really_input ic bytes 0 len
+             with End_of_file -> corrupt "truncated DEADLETTERS %s" what);
+            (match input_line ic with
+            | "" -> ()
+            | _ -> corrupt "missing DEADLETTERS %s terminator" what
+            | exception End_of_file -> corrupt "missing DEADLETTERS %s terminator" what);
+            Bytes.unsafe_to_string bytes
+          in
+          let rec loop acc =
+            match line () with
+            | "end" -> List.rev acc
+            | header -> (
+              match String.split_on_char ' ' header with
+              | [ "letter"; seq; attempts; tag; msg_len; payload_len ] -> (
+                match
+                  ( int_of_string_opt seq,
+                    int_of_string_opt attempts,
+                    int_of_string_opt msg_len,
+                    int_of_string_opt payload_len )
+                with
+                | Some seq, Some attempts, Some msg_len, Some payload_len
+                  when seq > 0 && attempts >= 0 && msg_len >= 0 && payload_len >= 0 -> (
+                  let message = read_exact msg_len "error message" in
+                  let payload = read_exact payload_len "payload" in
+                  match error_of_tag tag message with
+                  | None -> corrupt "unknown DEADLETTERS error tag %s" tag
+                  | Some error ->
+                    (* The payload carries its own CRC ([Txn.encode_update]);
+                       gate on it now so a corrupt letter surfaces at load
+                       time, not at replay time. *)
+                    (match Txn.decode_update payload with
+                    | Ok _ -> ()
+                    | Error m -> corrupt "letter %d payload: %s" seq m);
+                    loop ({ Txn.seq; error; attempts; payload } :: acc))
+                | _ -> corrupt "bad DEADLETTERS letter header: %s" header)
+              | _ -> corrupt "bad DEADLETTERS letter header: %s" header)
+          in
+          loop [])
+    with
+    | letters -> Ok letters
+    | exception Bad error -> Error error
+    | exception Sys_error m -> Error (Corrupt m)
 
 let read_manifest store =
   let path = manifest_path store in

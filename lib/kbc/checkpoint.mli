@@ -59,6 +59,19 @@ val recover : t -> (Engine.t * int, error) result
     it has absorbed (checkpoint seq + replayed entries).  Torn WAL tail
     entries are discarded.  On success a fresh checkpoint is published. *)
 
+val save_dead_letters : t -> Dd_core.Txn.dead_letter list -> unit
+(** Atomically publish the supervisor's quarantine queue (oldest first, as
+    {!Dd_core.Txn.dead_letters} returns it) to a [DEADLETTERS] file in the
+    store.  Each letter's payload is stored in the exact
+    {!Dd_core.Txn.encode_update} encoding — CRC-guarded and replayable —
+    so quarantined updates survive a restart.  Call with [[]] to clear. *)
+
+val load_dead_letters : t -> (Dd_core.Txn.dead_letter list, error) result
+(** Read back the persisted quarantine queue, oldest first ([Ok []] when
+    none was ever saved).  Every structural field and every payload CRC is
+    verified; feed the result to {!Dd_core.Txn.restore_dead_letters} after
+    {!recover}, then replay with {!Dd_core.Txn.replay}. *)
+
 val validate : Engine.t -> (unit, string) result
 (** The load-time validation pass, exported for direct use:
     {!Dd_fgraph.Graph.validate} on the factor graph and

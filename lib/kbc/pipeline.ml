@@ -177,11 +177,16 @@ type drive_step = {
   step_result : (Txn.outcome, Txn.error) result;
 }
 
-let drive ?semantics ?txn_options engine rule_ids =
-  let txn = Txn.create ?options:txn_options engine in
+let drive ?semantics ?txn_options ?txn ?on_step engine rule_ids =
+  let txn =
+    match txn with Some t -> t | None -> Txn.create ?options:txn_options engine
+  in
   let steps =
     List.map
-      (fun rid -> { step_rule = rid; step_result = Txn.apply txn (update_of ?semantics rid) })
+      (fun rid ->
+        let step = { step_rule = rid; step_result = Txn.apply txn (update_of ?semantics rid) } in
+        (match on_step with Some f -> f step | None -> ());
+        step)
       rule_ids
   in
   (txn, steps)

@@ -58,7 +58,7 @@ let domains t = t.domains
 
 let phases t = match t.mode with Sequential _ -> 1 | Parallel p -> p.num_colors
 
-let run_phase state p phase =
+let run_phase_with sweep p phase =
   (* Count the slices that actually hold work: a class smaller than the
      domain count (or a singleton class, the degenerate voting case)
      needs no barrier — run its one busy slice inline with that slice's
@@ -73,19 +73,24 @@ let run_phase state p phase =
     phase;
   if !busy = 1 then
     let d = !last in
-    Compiled.sweep_slice p.rngs.(d) state phase.(d)
+    sweep p.rngs.(d) phase.(d)
   else if !busy > 1 then
-    Pool.run p.pool (fun d ->
-        if d < Array.length phase then Compiled.sweep_slice p.rngs.(d) state phase.(d))
+    Pool.run p.pool (fun d -> if d < Array.length phase then sweep p.rngs.(d) phase.(d))
+
+let run_phase state p phase =
+  run_phase_with (fun rng slice -> Compiled.sweep_slice rng state slice) p phase
 
 let sweep t =
   match t.mode with
   | Sequential rng -> Compiled.sweep rng t.state
   | Parallel p -> Array.iter (run_phase t.state p) p.plan
 
-(* Budget polls sit on the coordinator thread between color phases, so a
-   timeout lands at a barrier — every domain has finished its slice and
-   the shared state is consistent when [Exceeded] escapes. *)
+(* The budget is polled both on the coordinator between color phases and
+   inside every worker slice (chunked, see [Compiled.sweep_slice_budgeted])
+   — one oversized color cannot stretch a deadline past its budget.  A
+   worker-side [Exceeded] is re-raised by [Pool.run] after the barrier:
+   the other workers complete their (disjoint) slices first, so the shared
+   state is never torn when the exception escapes. *)
 let sweep_budgeted budget t =
   match t.mode with
   | Sequential rng ->
@@ -95,7 +100,10 @@ let sweep_budgeted budget t =
     Array.iter
       (fun phase ->
         Budget.check budget "par_gibbs.color_phase";
-        run_phase t.state p phase)
+        run_phase_with
+          (fun rng slice ->
+            Compiled.sweep_slice_budgeted ~budget ~site:"par_gibbs.slice" rng t.state slice)
+          p phase)
       p.plan
 
 let shutdown t =

@@ -79,9 +79,12 @@ val marginals :
   float array
 (** Single-chain marginals by color-synchronous sweeps.  Drop-in for
     {!Dd_inference.Fast_gibbs.marginals} (and bit-identical to it when
-    [domains = 1]).  [?kernel] as in {!create}.  [budget] is polled on the
-    coordinator between color phases (per sweep when sequential), so
-    exhaustion surfaces at a barrier with all domains idle. *)
+    [domains = 1]).  [?kernel] as in {!create}.  [budget] is polled on
+    the coordinator between color phases (per sweep when sequential)
+    {e and} inside every worker's color slice (chunked — site
+    ["par_gibbs.slice"]), so one oversized color cannot stretch a
+    deadline.  A worker-side exhaustion surfaces after the phase barrier
+    with every other slice complete and the shared state consistent. *)
 
 val sample_worlds :
   ?burn_in:int -> ?spacing:int -> domains:int -> Dd_util.Prng.t -> Graph.t -> n:int -> bool array array

@@ -1,0 +1,206 @@
+module Tuple = Dd_relational.Tuple
+module Txn = Dd_core.Txn
+
+(* One published snapshot plus its retirement state.  [pins] counts
+   readers currently inside a [read] on this snapshot; [superseded] is set
+   by the writer when a newer snapshot replaces it; [retired] flips once,
+   when a superseded slot's last reader leaves (or it was idle at swap
+   time).  The GC keeps the memory safe regardless — retirement exists so
+   the health surface can prove old epochs actually drain. *)
+type slot = {
+  snap : Snapshot.t;
+  pins : int Atomic.t;
+  superseded : bool Atomic.t;
+  retired : bool Atomic.t;
+}
+
+type counters = {
+  lookups : int;
+  scans : int;
+  top_ks : int;
+  entities : int;
+  generic : int;
+}
+
+type health = {
+  epoch : int;
+  txn_seq : int;
+  writer_commits : int;
+  staleness_commits : int;
+  staleness_s : float;
+  degraded : string option;
+  quarantined : int;
+  swaps : int;
+  retired : int;
+  active_pins : int;
+  last_swap_ms : float;
+  mean_swap_ms : float;
+  max_swap_ms : float;
+  counters : counters;
+}
+
+type t = {
+  current : slot Atomic.t;
+  (* Writer-side state.  Only the supervisor's domain touches these; the
+     health surface reads them through the atomics below. *)
+  mutable next_epoch : int;
+  bins : int;
+  truth : Dd_kbc.Corpus.fact list option;
+  (* Cross-domain observability. *)
+  writer_commits : int Atomic.t;
+  degraded : string option Atomic.t;
+  quarantined : int Atomic.t;
+  swaps : int Atomic.t;
+  retired_count : int Atomic.t;
+  last_swap_ns : int Atomic.t;
+  total_swap_ns : int Atomic.t;
+  max_swap_ns : int Atomic.t;
+  c_lookups : int Atomic.t;
+  c_scans : int Atomic.t;
+  c_top_ks : int Atomic.t;
+  c_entities : int Atomic.t;
+  c_generic : int Atomic.t;
+}
+
+let fresh_slot snap =
+  {
+    snap;
+    pins = Atomic.make 0;
+    superseded = Atomic.make false;
+    retired = Atomic.make false;
+  }
+
+(* Flip [retired] exactly once per slot and account for it. *)
+let try_retire t slot =
+  if
+    Atomic.get slot.superseded
+    && Atomic.get slot.pins = 0
+    && Atomic.compare_and_set slot.retired false true
+  then Atomic.incr t.retired_count
+
+let publish t engine ~txn_seq =
+  let t0 = Unix.gettimeofday () in
+  let epoch = t.next_epoch in
+  t.next_epoch <- epoch + 1;
+  let snap = Snapshot.build ~bins:t.bins ?truth:t.truth ~epoch ~txn_seq engine in
+  let old = Atomic.exchange t.current (fresh_slot snap) in
+  Atomic.set old.superseded true;
+  try_retire t old;
+  Atomic.incr t.swaps;
+  let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  Atomic.set t.last_swap_ns ns;
+  ignore (Atomic.fetch_and_add t.total_swap_ns ns);
+  if ns > Atomic.get t.max_swap_ns then Atomic.set t.max_swap_ns ns
+
+let create ?(bins = 10) ?truth txn =
+  let snap =
+    Snapshot.build ~bins ?truth ~epoch:1 ~txn_seq:(Txn.commits txn) (Txn.engine txn)
+  in
+  let t =
+    {
+      current = Atomic.make (fresh_slot snap);
+      next_epoch = 2;
+      bins;
+      truth;
+      writer_commits = Atomic.make (Txn.commits txn);
+      degraded = Atomic.make None;
+      quarantined = Atomic.make 0;
+      swaps = Atomic.make 0;
+      retired_count = Atomic.make 0;
+      last_swap_ns = Atomic.make 0;
+      total_swap_ns = Atomic.make 0;
+      max_swap_ns = Atomic.make 0;
+      c_lookups = Atomic.make 0;
+      c_scans = Atomic.make 0;
+      c_top_ks = Atomic.make 0;
+      c_entities = Atomic.make 0;
+      c_generic = Atomic.make 0;
+    }
+  in
+  Txn.on_event txn (function
+    | Txn.Committed _ ->
+      Atomic.set t.writer_commits (Txn.commits txn);
+      Atomic.set t.degraded None;
+      publish t (Txn.engine txn) ~txn_seq:(Txn.commits txn)
+    | Txn.Degraded rung -> Atomic.set t.degraded (Some (Txn.rung_to_string rung))
+    | Txn.Quarantined _ ->
+      Atomic.incr t.quarantined;
+      Atomic.set t.degraded None;
+      (* The engine was rolled back (and, if the ladder reached the rerun
+         rung, replaced) — re-publish so served state tracks the live
+         engine even across a failed update. *)
+      publish t (Txn.engine txn) ~txn_seq:(Txn.commits txn));
+  t
+
+let current t = (Atomic.get t.current).snap
+
+(* Pin the slot the pointer names right now.  If the writer retired it in
+   the window between our load and our pin (possible only when the slot
+   was idle, i.e. we had not pinned yet), drop it and take the fresh
+   pointer — this keeps "retired" ⇒ "no reader will ever use it again". *)
+let rec acquire t =
+  let slot = Atomic.get t.current in
+  Atomic.incr slot.pins;
+  if Atomic.get slot.retired then begin
+    ignore (Atomic.fetch_and_add slot.pins (-1));
+    acquire t
+  end
+  else slot
+
+let release t slot =
+  if Atomic.fetch_and_add slot.pins (-1) = 1 then try_retire t slot
+
+let read_with t counter f =
+  Atomic.incr counter;
+  let slot = acquire t in
+  match f slot.snap with
+  | v ->
+    release t slot;
+    v
+  | exception e ->
+    release t slot;
+    raise e
+
+let read t f = read_with t t.c_generic f
+
+let lookup t ~relation tuple =
+  read_with t t.c_lookups (fun s -> Snapshot.lookup s ~relation tuple)
+
+let top_k t ?relation k = read_with t t.c_top_ks (fun s -> Snapshot.top_k s ?relation k)
+
+let above t ?relation threshold =
+  read_with t t.c_scans (fun s -> Snapshot.above s ?relation threshold)
+
+let count_above t ?relation threshold =
+  read_with t t.c_scans (fun s -> Snapshot.count_above s ?relation threshold)
+
+let entity_facts t value = read_with t t.c_entities (fun s -> Snapshot.entity_facts s value)
+
+let health t =
+  let slot = Atomic.get t.current in
+  let snap = slot.snap in
+  let ms ns = float_of_int ns /. 1e6 in
+  let swaps = Atomic.get t.swaps in
+  {
+    epoch = Snapshot.epoch snap;
+    txn_seq = Snapshot.txn_seq snap;
+    writer_commits = Atomic.get t.writer_commits;
+    staleness_commits = max 0 (Atomic.get t.writer_commits - Snapshot.txn_seq snap);
+    staleness_s = Unix.gettimeofday () -. Snapshot.published_s snap;
+    degraded = Atomic.get t.degraded;
+    quarantined = Atomic.get t.quarantined;
+    swaps;
+    retired = Atomic.get t.retired_count;
+    active_pins = Atomic.get slot.pins;
+    last_swap_ms = ms (Atomic.get t.last_swap_ns);
+    mean_swap_ms = (if swaps = 0 then 0.0 else ms (Atomic.get t.total_swap_ns) /. float_of_int swaps);
+    max_swap_ms = ms (Atomic.get t.max_swap_ns);
+    counters =
+      {
+        lookups = Atomic.get t.c_lookups;
+        scans = Atomic.get t.c_scans;
+        top_ks = Atomic.get t.c_top_ks;
+        entities = Atomic.get t.c_entities;
+        generic = Atomic.get t.c_generic;
+      };
+  }

@@ -13,15 +13,19 @@ type spec =
   | Ms of float
   | Ticks of int
 
+(* [Tick] counts down atomically so that worker domains may poll the same
+   armed budget concurrently (the domain-parallel sampler polls inside its
+   color slices): the number of successful polls is exactly the armed tick
+   count under any interleaving, and every poll past it raises. *)
 type t =
   | No_limit
   | Deadline of { timer : Timer.t; limit_s : float }
-  | Tick of { mutable left : int }
+  | Tick of { left : int Atomic.t }
 
 let start = function
   | Unlimited -> No_limit
   | Ms ms -> Deadline { timer = Timer.start (); limit_s = max 0.0 ms /. 1000.0 }
-  | Ticks n -> Tick { left = max 0 n }
+  | Ticks n -> Tick { left = Atomic.make (max 0 n) }
 
 let unlimited = No_limit
 
@@ -29,9 +33,7 @@ let check t site =
   match t with
   | No_limit -> ()
   | Deadline d -> if Timer.elapsed_s d.timer >= d.limit_s then raise (Exceeded site)
-  | Tick k ->
-    if k.left <= 0 then raise (Exceeded site);
-    k.left <- k.left - 1
+  | Tick k -> if Atomic.fetch_and_add k.left (-1) <= 0 then raise (Exceeded site)
 
 let is_exceeded = function Exceeded _ -> true | _ -> false
 

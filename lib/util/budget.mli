@@ -7,7 +7,12 @@
     into a classified, recoverable failure instead of a hung domain pool.
 
     The {!Ticks} mode counts polls instead of wall-clock time, giving
-    tests a deterministic way to drive the timeout path. *)
+    tests a deterministic way to drive the timeout path.
+
+    Budgets are safe to poll from several domains at once — {!Ms} reads a
+    wall clock and {!Ticks} counts down atomically — so the domain-parallel
+    sampler polls the step budget inside its worker color slices, not only
+    at coordinator barriers. *)
 
 exception Exceeded of string
 (** Carries the name of the polling site that ran out of budget. *)

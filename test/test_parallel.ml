@@ -260,6 +260,38 @@ let test_par_voting_agrees () =
   let m = Par_gibbs.marginals ~burn_in:200 ~domains:4 (Prng.create 74) g ~sweeps:8000 in
   Alcotest.(check bool) "q marginal within 5%" true (abs_float (m.(q) -. exact) < 0.05)
 
+(* --- budget polling inside worker slices -------------------------------- *)
+
+(* A unary-only graph: one color class, so every sweep is exactly one
+   parallel phase whose [domains] slices all carry work.  Poll counts are
+   then a pure function of the shapes: 1 coordinator poll per phase plus
+   [ceil (slice / 128)] polls per worker slice — deterministic no matter
+   how the domains interleave, because the tick counter is atomic. *)
+let unary_graph n =
+  let g = Graph.create () in
+  Array.iter
+    (fun v ->
+      let w = Graph.add_weight g 0.3 in
+      ignore (Graph.unary g ~weight:w v))
+    (Graph.add_vars g n);
+  g
+
+let test_budgeted_worker_slices () =
+  let module Budget = Dd_util.Budget in
+  let g = unary_graph 600 in
+  let run budget =
+    Par_gibbs.marginals ?budget ~burn_in:1 ~domains:3 (Prng.create 90) g ~sweeps:5
+  in
+  (* 6 sweeps x (1 phase poll + 3 slices x 2 chunk polls) = 42 ticks. *)
+  let free = run None in
+  let exact = run (Some (Budget.start (Budget.Ticks 42))) in
+  Alcotest.(check bool) "budgeted sweep is bit-identical" true (free = exact);
+  (* One tick short: the very last poll — inside a worker slice, not on
+     the coordinator — must raise, and from the worker's own site. *)
+  match run (Some (Budget.start (Budget.Ticks 41))) with
+  | _ -> Alcotest.fail "expected Budget.Exceeded from a worker slice"
+  | exception Budget.Exceeded site -> Alcotest.(check string) "worker site" "par_gibbs.slice" site
+
 (* --- Fig-KBC agreement (the recovery harness comparators) -------------- *)
 
 let tiny_news =
@@ -355,6 +387,8 @@ let () =
             test_par_fig_kbc_agreement;
           Alcotest.test_case "engine smoke with parallel_domains" `Quick
             test_engine_parallel_smoke;
+          Alcotest.test_case "budget polled inside worker slices" `Quick
+            test_budgeted_worker_slices;
         ] );
       ("partition properties", List.map QCheck_alcotest.to_alcotest partition_qcheck);
     ]

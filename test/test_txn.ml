@@ -13,6 +13,7 @@ module Txn = Dd_core.Txn
 module Corpus = Dd_kbc.Corpus
 module Pipeline = Dd_kbc.Pipeline
 module Quality = Dd_kbc.Quality
+module Checkpoint = Dd_kbc.Checkpoint
 
 let tiny_config = { Corpus.default with Corpus.docs = 12; relations = 2; entities = 20; seed = 5 }
 
@@ -355,6 +356,85 @@ let test_budget_timeout_quarantine () =
   | [ dl ] -> Alcotest.(check int) "attempts" 3 dl.Txn.attempts
   | _ -> Alcotest.fail "expected 1 dead letter")
 
+(* --- dead-letter persistence through the checkpoint store ----------------------- *)
+
+let fresh_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) ("dd_txn_" ^ name) in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Array.iter
+    (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  dir
+
+let test_dead_letter_persistence () =
+  Fault.reset ();
+  let dir = fresh_dir "deadletters" in
+  let store = Checkpoint.open_store dir in
+  (* A store that never saved letters reads back as empty, not as an error. *)
+  (match Checkpoint.load_dead_letters store with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "phantom letters in a fresh store"
+  | Error e -> Alcotest.fail (Checkpoint.error_to_string e));
+  (* Quarantine two updates with different error classes. *)
+  let _, engine = make_engine () in
+  let txn = Txn.create ~options:rollback_only engine in
+  (match apply_err txn (bad_rules_update ()) with `Malformed_delta _ -> () | _ -> Alcotest.fail "class");
+  Fault.arm "engine.apply_update.post_learning" (Fault.Nth 1);
+  (match apply_err txn (Pipeline.update_of Pipeline.FE1) with `Transient _ -> () | _ -> Alcotest.fail "class");
+  note_covered ();
+  Fault.reset ();
+  let letters = Txn.dead_letters txn in
+  Alcotest.(check int) "two quarantined" 2 (List.length letters);
+  Checkpoint.save_dead_letters store letters;
+  (* Bit-exact round trip: seq, attempts, error (class and message), payload. *)
+  (match Checkpoint.load_dead_letters store with
+  | Ok loaded -> Alcotest.(check bool) "letters round-trip exactly" true (loaded = letters)
+  | Error e -> Alcotest.fail (Checkpoint.error_to_string e));
+  (* Restore into a fresh supervisor: queue back, sequence advanced, the
+     transient letter replays cleanly. *)
+  let _, engine2 = make_engine () in
+  let txn2 = Txn.create engine2 in
+  (match Checkpoint.load_dead_letters store with
+  | Ok loaded -> Txn.restore_dead_letters txn2 loaded
+  | Error e -> Alcotest.fail (Checkpoint.error_to_string e));
+  Alcotest.(check int) "queue restored" 2 (List.length (Txn.dead_letters txn2));
+  let transient =
+    List.find
+      (fun dl -> match dl.Txn.error with `Transient _ -> true | _ -> false)
+      (Txn.dead_letters txn2)
+  in
+  (match Txn.replay txn2 transient with
+  | Ok outcome -> Alcotest.(check bool) "replay direct" true (outcome.Txn.rung = Txn.Direct)
+  | Error e -> Alcotest.fail ("replay failed: " ^ Txn.error_message e));
+  Alcotest.(check int) "replayed letter drained" 1 (List.length (Txn.dead_letters txn2));
+  (* New quarantines never reuse a restored sequence number. *)
+  (match apply_err txn2 (bad_rules_update ()) with `Malformed_delta _ -> () | _ -> Alcotest.fail "class");
+  let seqs = List.map (fun dl -> dl.Txn.seq) (Txn.dead_letters txn2) in
+  Alcotest.(check bool) "sequence numbers stay distinct" true
+    (List.sort_uniq compare seqs = List.sort compare seqs);
+  (* Saving [] clears the persisted queue. *)
+  Checkpoint.save_dead_letters store [];
+  (match Checkpoint.load_dead_letters store with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "clear did not empty the store");
+  (* A flipped byte anywhere in a payload fails the CRC gate. *)
+  Checkpoint.save_dead_letters store letters;
+  let path = Filename.concat dir "DEADLETTERS" in
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bytes = Bytes.of_string (really_input_string ic len) in
+  close_in ic;
+  (* last byte of the final payload: [... payload "\n" "end\n"] *)
+  let pos = len - 6 in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 1));
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc;
+  (match Checkpoint.load_dead_letters store with
+  | Error (Checkpoint.Corrupt _) -> ()
+  | Ok _ -> Alcotest.fail "corrupt DEADLETTERS accepted"
+  | Error e -> Alcotest.fail ("wrong error: " ^ Checkpoint.error_to_string e))
+
 (* --- randomized rollback property ---------------------------------------------- *)
 
 let qcheck_tests =
@@ -455,6 +535,8 @@ let () =
           Alcotest.test_case "malformed never retries" `Quick test_malformed_never_retries;
           Alcotest.test_case "budget timeout quarantine" `Quick test_budget_timeout_quarantine;
         ] );
+      ( "persistence",
+        [ Alcotest.test_case "dead letters survive the store" `Quick test_dead_letter_persistence ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
       ( "meta",
         [ Alcotest.test_case "fault-point coverage" `Quick test_fault_coverage ] );
