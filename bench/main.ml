@@ -35,6 +35,7 @@ module _ = Serving
 module _ = Scaling
 module _ = Gibbs_kernel
 module _ = Grounding_bench
+module _ = Ingestion
 
 type cli = { full : bool; list : bool; json : string option; names : string list }
 

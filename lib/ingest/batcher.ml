@@ -1,0 +1,49 @@
+type trigger = Count | Deadline | Drain
+
+type batch = { docs : Source.doc list; ready_s : float; trigger : trigger }
+
+type t = {
+  max_docs : int;
+  max_delay_s : float;
+  mutable buffer : Source.doc list;  (* newest first *)
+  mutable oldest_s : float;  (* arrival of the oldest buffered doc *)
+}
+
+let create ?(max_docs = 8) ?(max_delay_s = 0.05) () =
+  if max_docs < 1 then invalid_arg "Batcher.create: max_docs must be >= 1";
+  if max_delay_s < 0.0 then invalid_arg "Batcher.create: max_delay_s must be >= 0";
+  { max_docs; max_delay_s; buffer = []; oldest_s = 0.0 }
+
+let pending t = List.length t.buffer
+
+let close t ~ready_s ~trigger =
+  let docs = List.rev t.buffer in
+  t.buffer <- [];
+  { docs; ready_s; trigger }
+
+let deadline t = t.oldest_s +. t.max_delay_s
+
+let due t ~now_s =
+  if t.buffer <> [] && now_s >= deadline t then
+    Some (close t ~ready_s:(deadline t) ~trigger:Deadline)
+  else None
+
+let push t doc =
+  (* A new arrival is also the only clock advance a pull-driven stream
+     gets: first settle whether the buffered docs' deadline had already
+     passed, then buffer the newcomer. *)
+  let overdue = due t ~now_s:doc.Source.arrival_s in
+  if t.buffer = [] then t.oldest_s <- doc.Source.arrival_s;
+  t.buffer <- doc :: t.buffer;
+  match overdue with
+  | Some batch -> Some batch
+  | None ->
+    if List.length t.buffer >= t.max_docs then
+      Some (close t ~ready_s:doc.Source.arrival_s ~trigger:Count)
+    else None
+
+let drain t =
+  if t.buffer = [] then None
+  else
+    let ready_s = match t.buffer with d :: _ -> d.Source.arrival_s | [] -> 0.0 in
+    Some (close t ~ready_s ~trigger:Drain)

@@ -1,0 +1,37 @@
+(** Micro-batching of arriving documents, by count or latency deadline.
+
+    Documents are pushed in arrival order; a batch closes when it reaches
+    [max_docs], when the oldest buffered document has waited [max_delay_s]
+    of stream time, or when the caller drains the remainder at end of
+    stream.  All triggering is driven by the documents' own arrival
+    timestamps (plus the caller-supplied clock for {!due}), never by wall
+    time, so batch composition is deterministic for a deterministic
+    stream. *)
+
+type trigger = Count | Deadline | Drain
+
+type batch = {
+  docs : Source.doc list;  (** arrival order *)
+  ready_s : float;  (** stream time at which the batch closed *)
+  trigger : trigger;
+}
+
+type t
+
+val create : ?max_docs:int -> ?max_delay_s:float -> unit -> t
+(** Defaults: [max_docs = 8], [max_delay_s = 0.05]. *)
+
+val push : t -> Source.doc -> batch option
+(** Buffer one document; [Some batch] when it filled the batch
+    ([Count]) — or when its arrival time shows the previously buffered
+    documents' deadline had already passed ([Deadline], the pushed
+    document stays buffered for the next batch). *)
+
+val due : t -> now_s:float -> batch option
+(** Close the buffered batch if the oldest document has waited past the
+    deadline at stream time [now_s]. *)
+
+val drain : t -> batch option
+(** Close whatever is buffered ([None] when empty) — end of stream. *)
+
+val pending : t -> int

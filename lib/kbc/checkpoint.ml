@@ -263,6 +263,64 @@ let load_dead_letters store =
     | exception Bad error -> Error error
     | exception Sys_error m -> Error (Corrupt m)
 
+(* --- sidecar blobs ---------------------------------------------------------- *)
+
+(* Small named state blobs published atomically next to the checkpoints —
+   the subsystem-state analogue of DEADLETTERS (the ingestion feed stores
+   its canonicalizer here).  Length + CRC are recorded explicitly so a torn
+   or tampered file fails structurally at load time. *)
+
+let blob_path store name =
+  String.iter
+    (fun c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+        || c = '-' || c = '_'
+      in
+      if not ok then invalid_arg ("Checkpoint blob name: " ^ name))
+    name;
+  if name = "" then invalid_arg "Checkpoint blob name: empty";
+  Filename.concat store.dir ("BLOB_" ^ name)
+
+let save_blob store ~name content =
+  write_file_atomic (blob_path store name)
+    (Printf.sprintf "ddblob 1 %d %s\n%s\nend\n" (String.length content)
+       (Crc32.to_hex (Crc32.string content))
+       content)
+
+let load_blob store ~name =
+  let path = blob_path store name in
+  if not (Sys.file_exists path) then Ok None
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let line () = try input_line ic with End_of_file -> corrupt "truncated blob %s" name in
+          let len, crc =
+            match String.split_on_char ' ' (line ()) with
+            | [ "ddblob"; "1"; len; hex ] -> (
+              match (int_of_string_opt len, Crc32.of_hex hex) with
+              | Some len, Some crc when len >= 0 -> (len, crc)
+              | _ -> corrupt "bad blob %s header fields" name)
+            | _ -> corrupt "bad blob %s header" name
+          in
+          let bytes = Bytes.create len in
+          (try really_input ic bytes 0 len
+           with End_of_file -> corrupt "truncated blob %s content" name);
+          (match line () with
+          | "" -> ()
+          | _ -> corrupt "missing blob %s terminator" name);
+          (match line () with "end" -> () | _ -> corrupt "bad blob %s footer" name);
+          let content = Bytes.unsafe_to_string bytes in
+          if Crc32.string content <> crc then corrupt "blob %s checksum mismatch" name;
+          content)
+    with
+    | content -> Ok (Some content)
+    | exception Bad error -> Error error
+    | exception Sys_error m -> Error (Corrupt m)
+
 let read_manifest store =
   let path = manifest_path store in
   if not (Sys.file_exists path) then raise (Bad No_checkpoint);

@@ -72,6 +72,18 @@ val load_dead_letters : t -> (Dd_core.Txn.dead_letter list, error) result
     verified; feed the result to {!Dd_core.Txn.restore_dead_letters} after
     {!recover}, then replay with {!Dd_core.Txn.replay}. *)
 
+val save_blob : t -> name:string -> string -> unit
+(** Atomically publish a named sidecar state blob ([BLOB_<name>], CRC-32
+    gated) next to the checkpoints — for subsystem state that must travel
+    with the engine snapshot, e.g. the ingestion feed's canonicalizer
+    ({!Dd_ingest.Feed.encode_state}).  [name] must be non-empty
+    [[A-Za-z0-9_-]]; raises [Invalid_argument] otherwise. *)
+
+val load_blob : t -> name:string -> (string option, error) result
+(** Read back a sidecar blob: [Ok None] when never saved, [Ok (Some s)]
+    byte-exact on success, [Error (Corrupt _)] on any structural or
+    checksum violation. *)
+
 val validate : Engine.t -> (unit, string) result
 (** The load-time validation pass, exported for direct use:
     {!Dd_fgraph.Graph.validate} on the factor graph and

@@ -10,39 +10,63 @@ type mention = {
    a child, and records whether a name ends here. *)
 type node = { children : (string, node) Hashtbl.t; mutable terminal : bool }
 
-type dictionary = node
+(* The trie plus the set of case-normalized keys already inserted, so a
+   streaming dictionary can grow without accumulating duplicate entries
+   ("Obama", "OBAMA" and "obama." are one name) and callers can observe
+   whether an insertion was new. *)
+type dictionary = { root : node; keys : (string, unit) Hashtbl.t }
 
 let make_node () = { children = Hashtbl.create 4; terminal = false }
 
-let add_name root name =
-  let words =
-    List.filter_map
-      (fun t ->
-        let w = Tokenizer.normalize t.Tokenizer.text in
-        if w = "" then None else Some w)
-      (Tokenizer.tokenize name)
-  in
-  let rec insert node = function
-    | [] -> node.terminal <- true
-    | word :: rest ->
-      let child =
-        match Hashtbl.find_opt node.children word with
-        | Some c -> c
-        | None ->
-          let c = make_node () in
-          Hashtbl.replace node.children word c;
-          c
+let name_words name =
+  List.filter_map
+    (fun t ->
+      let w = Tokenizer.normalize t.Tokenizer.text in
+      if w = "" then None else Some w)
+    (Tokenizer.tokenize name)
+
+let normalize_name name = String.concat " " (name_words name)
+
+let add_name dict name =
+  let words = name_words name in
+  if words = [] then false
+  else begin
+    let key = String.concat " " words in
+    if Hashtbl.mem dict.keys key then false
+    else begin
+      Hashtbl.replace dict.keys key ();
+      let rec insert node = function
+        | [] -> node.terminal <- true
+        | word :: rest ->
+          let child =
+            match Hashtbl.find_opt node.children word with
+            | Some c -> c
+            | None ->
+              let c = make_node () in
+              Hashtbl.replace node.children word c;
+              c
+          in
+          insert child rest
       in
-      insert child rest
-  in
-  if words <> [] then insert root words
+      insert dict.root words;
+      true
+    end
+  end
 
 let dictionary names =
-  let root = make_node () in
-  List.iter (add_name root) names;
-  root
+  let dict = { root = make_node (); keys = Hashtbl.create 64 } in
+  List.iter (fun name -> ignore (add_name dict name)) names;
+  dict
 
-let find root tokens =
+let size dict = Hashtbl.length dict.keys
+
+let mem dict name =
+  match name_words name with
+  | [] -> false
+  | words -> Hashtbl.mem dict.keys (String.concat " " words)
+
+let find dict tokens =
+  let root = dict.root in
   let arr = Array.of_list tokens in
   let n = Array.length arr in
   let norm = Array.map (fun t -> Tokenizer.normalize t.Tokenizer.text) arr in
@@ -80,4 +104,4 @@ let find root tokens =
   done;
   List.rev !out
 
-let find_in_sentence root sentence = find root (Tokenizer.tokenize sentence)
+let find_in_sentence dict sentence = find dict (Tokenizer.tokenize sentence)

@@ -92,9 +92,63 @@ let test_find_token_spans () =
 
 let test_add_name_after_build () =
   let dict = Mention_finder.dictionary [] in
-  Mention_finder.add_name dict "New Entity";
+  Alcotest.(check bool) "new" true (Mention_finder.add_name dict "New Entity");
   let found = Mention_finder.find_in_sentence dict "the New Entity appeared" in
   Alcotest.(check int) "found" 1 (List.length found)
+
+let test_dictionary_dedups_names () =
+  (* Regression: names colliding under case normalization are stored once. *)
+  let dict = Mention_finder.dictionary [ "Obama"; "OBAMA"; "obama."; "Obama" ] in
+  Alcotest.(check int) "one entry" 1 (Mention_finder.size dict);
+  Alcotest.(check bool) "duplicate rejected" false (Mention_finder.add_name dict "oBaMa");
+  Alcotest.(check bool) "fresh accepted" true (Mention_finder.add_name dict "Merkel");
+  Alcotest.(check bool) "then duplicate" false (Mention_finder.add_name dict "MERKEL");
+  Alcotest.(check int) "two entries" 2 (Mention_finder.size dict);
+  Alcotest.(check bool) "mem normalized" true (Mention_finder.mem dict "OBAMA");
+  Alcotest.(check bool) "mem fresh" false (Mention_finder.mem dict "Biden");
+  (* Still exactly one mention per occurrence. *)
+  let found = Mention_finder.find_in_sentence dict "Obama met OBAMA" in
+  Alcotest.(check int) "no duplicate matches" 2 (List.length found)
+
+let test_add_name_rejects_empty () =
+  let dict = Mention_finder.dictionary [ "..."; "!!" ] in
+  Alcotest.(check int) "nothing stored" 0 (Mention_finder.size dict);
+  Alcotest.(check bool) "empty rejected" false (Mention_finder.add_name dict "");
+  Alcotest.(check bool) "punct-only rejected" false (Mention_finder.add_name dict "?!")
+
+let test_normalize_name () =
+  Alcotest.(check string) "case+spacing" "barack obama"
+    (Mention_finder.normalize_name "  BARACK   Obama. ");
+  Alcotest.(check string) "empty" "" (Mention_finder.normalize_name "..!")
+
+let test_find_empty_document () =
+  let dict = Mention_finder.dictionary people in
+  Alcotest.(check int) "empty string" 0 (List.length (Mention_finder.find_in_sentence dict ""));
+  Alcotest.(check int) "whitespace" 0 (List.length (Mention_finder.find_in_sentence dict "   "));
+  Alcotest.(check (list string)) "no sentences" [] (List.map snd (Tokenizer.sentences ""))
+
+let test_find_punctuation_only () =
+  let dict = Mention_finder.dictionary people in
+  Alcotest.(check int) "punct only" 0 (List.length (Mention_finder.find_in_sentence dict "... !! ,"));
+  (* A punctuation-only sentence inside a document tokenizes but yields
+     no mentions. *)
+  List.iter
+    (fun (_, sentence) ->
+      ignore (Mention_finder.find dict (Tokenizer.tokenize sentence)))
+    (Tokenizer.sentences "... ! Obama spoke. ?!")
+
+let test_find_overlapping_multitoken () =
+  (* Chained overlapping multi-token names: greedy longest from the left,
+     then continue after the match. *)
+  let dict = Mention_finder.dictionary [ "a b c"; "b c d"; "c d"; "d e" ] in
+  let found = Mention_finder.find_in_sentence dict "a b c d e" in
+  Alcotest.(check (list string)) "left longest then rest" [ "a b c"; "d e" ]
+    (List.map (fun m -> m.Mention_finder.surface) found);
+  (* A name that is a prefix of a longer one: longest wins at the site. *)
+  let dict = Mention_finder.dictionary [ "New York"; "New York City" ] in
+  let found = Mention_finder.find_in_sentence dict "in New York City today" in
+  Alcotest.(check (list string)) "longest wins" [ "New York City" ]
+    (List.map (fun m -> m.Mention_finder.surface) found)
 
 (* --- features ------------------------------------------------------------------ *)
 
@@ -195,6 +249,45 @@ let test_nlp_load_sid_continuity () =
   Alcotest.(check int) "two sentence rows, distinct sids" 2
     (Relation.cardinality (Database.find db "sentence"))
 
+(* --- qcheck properties ------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  let word = Gen.oneofl [ "a"; "b"; "c"; "d"; "e"; "Ab"; "b."; "x1" ] in
+  let name = Gen.(map (String.concat " ") (list_size (1 -- 3) word)) in
+  let scenario = Gen.(pair (list_size (0 -- 8) name) (list_size (0 -- 15) word)) in
+  [
+    Test.make ~name:"find never returns overlapping spans" ~count:500 (make scenario)
+      (fun (names, words) ->
+        let dict = Mention_finder.dictionary names in
+        let tokens = Tokenizer.tokenize (String.concat " " words) in
+        let n = List.length tokens in
+        let mentions = Mention_finder.find dict tokens in
+        let rec disjoint_sorted = function
+          | (a : Mention_finder.mention) :: (b :: _ as rest) ->
+            a.Mention_finder.last_token < b.Mention_finder.first_token && disjoint_sorted rest
+          | _ -> true
+        in
+        List.for_all
+          (fun (m : Mention_finder.mention) ->
+            0 <= m.Mention_finder.first_token
+            && m.Mention_finder.first_token <= m.Mention_finder.last_token
+            && m.Mention_finder.last_token < n)
+          mentions
+        && disjoint_sorted mentions);
+    Test.make ~name:"dictionary size counts normalized names" ~count:300
+      (make Gen.(list_size (0 -- 12) name))
+      (fun names ->
+        let dict = Mention_finder.dictionary names in
+        let distinct =
+          List.sort_uniq compare
+            (List.filter (fun k -> k <> "") (List.map Mention_finder.normalize_name names))
+        in
+        Mention_finder.size dict = List.length distinct
+        (* Re-adding anything already given is always a no-op. *)
+        && List.for_all (fun n -> not (Mention_finder.add_name dict n)) names);
+  ]
+
 let () =
   Alcotest.run "dd_text"
     [
@@ -217,6 +310,12 @@ let () =
           Alcotest.test_case "no overlap" `Quick test_find_no_overlap;
           Alcotest.test_case "token spans" `Quick test_find_token_spans;
           Alcotest.test_case "add name" `Quick test_add_name_after_build;
+          Alcotest.test_case "dedup names" `Quick test_dictionary_dedups_names;
+          Alcotest.test_case "reject empty names" `Quick test_add_name_rejects_empty;
+          Alcotest.test_case "normalize_name" `Quick test_normalize_name;
+          Alcotest.test_case "empty document" `Quick test_find_empty_document;
+          Alcotest.test_case "punctuation only" `Quick test_find_punctuation_only;
+          Alcotest.test_case "overlapping multi-token" `Quick test_find_overlapping_multitoken;
         ] );
       ( "features",
         [
@@ -235,4 +334,5 @@ let () =
           Alcotest.test_case "phrase feature" `Quick test_nlp_load_phrase_feature;
           Alcotest.test_case "sid continuity" `Quick test_nlp_load_sid_continuity;
         ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

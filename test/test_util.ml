@@ -246,6 +246,44 @@ let test_uf_idempotent_union () =
   Union_find.union uf 0 1;
   Alcotest.(check int) "count stable" 2 (Union_find.count uf)
 
+let test_uf_add_grows () =
+  let uf = Union_find.create 0 in
+  Alcotest.(check int) "starts empty" 0 (Union_find.length uf);
+  Alcotest.(check int) "first label" 0 (Union_find.add uf);
+  Alcotest.(check int) "second label" 1 (Union_find.add uf);
+  Alcotest.(check int) "length" 2 (Union_find.length uf);
+  Alcotest.(check int) "singletons" 2 (Union_find.count uf);
+  (* Grow far past the initial capacity to exercise the array doubling. *)
+  for i = 2 to 100 do
+    Alcotest.(check int) "dense labels" i (Union_find.add uf)
+  done;
+  Alcotest.(check int) "grown" 101 (Union_find.length uf)
+
+let test_uf_union_across_added () =
+  let uf = Union_find.create 2 in
+  let a = Union_find.add uf in
+  let b = Union_find.add uf in
+  Union_find.union uf 0 a;
+  Union_find.union uf a b;
+  Alcotest.(check bool) "initial joins added" true (Union_find.same uf 0 b);
+  Alcotest.(check bool) "untouched stays apart" false (Union_find.same uf 1 b);
+  Alcotest.(check int) "two sets" 2 (Union_find.count uf);
+  let groups = Union_find.groups uf in
+  let sizes =
+    Hashtbl.fold (fun _ members acc -> List.length members :: acc) groups []
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "group sizes" [ 1; 3 ] sizes
+
+let test_uf_bounds_checked () =
+  let uf = Union_find.create 2 in
+  (try
+     ignore (Union_find.find uf 2);
+     Alcotest.fail "out-of-range find must raise"
+   with Invalid_argument _ -> ());
+  ignore (Union_find.add uf);
+  Alcotest.(check int) "added label valid" 2 (Union_find.find uf 2)
+
 (* --- bitvec --------------------------------------------------------------- *)
 
 module Bitvec = Dd_util.Bitvec
@@ -482,6 +520,9 @@ let () =
           Alcotest.test_case "union" `Quick test_uf_union;
           Alcotest.test_case "groups" `Quick test_uf_groups;
           Alcotest.test_case "idempotent" `Quick test_uf_idempotent_union;
+          Alcotest.test_case "add grows" `Quick test_uf_add_grows;
+          Alcotest.test_case "union across added" `Quick test_uf_union_across_added;
+          Alcotest.test_case "bounds checked" `Quick test_uf_bounds_checked;
         ] );
       ( "bitvec",
         [
