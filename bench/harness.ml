@@ -60,15 +60,44 @@ let json_float v =
   (* JSON has no NaN/Infinity literals; clamp to null. *)
   if Float.is_finite v then Printf.sprintf "%.9g" v else "null"
 
+(* Host context (schema v2): bench records are compared across commits
+   *and* machines, and a scaling curve measured on 1 core means something
+   entirely different from the same curve on 16 — without the host block,
+   cross-machine trajectory comparison is guesswork. *)
+let host_cpu_count () =
+  (* [Domain.recommended_domain_count] already folds in cgroup/affinity
+     limits; /proc gives the raw processor count where available. *)
+  try
+    let ic = open_in "/proc/cpuinfo" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.length line >= 9 && String.sub line 0 9 = "processor" then incr n
+           done
+         with End_of_file -> ());
+        if !n > 0 then !n else Domain.recommended_domain_count ())
+  with _ -> Domain.recommended_domain_count ()
+
 let write_json_record ~path ~name ~scale ~wall_clock_s ~metrics =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"schema_version\": 1,\n";
+      Printf.fprintf oc "  \"schema_version\": 2,\n";
       Printf.fprintf oc "  \"experiment\": \"%s\",\n" (json_escape name);
       Printf.fprintf oc "  \"scale\": \"%s\",\n" (json_escape scale);
+      Printf.fprintf oc "  \"host\": {\n";
+      Printf.fprintf oc "    \"cpu_count\": %d,\n" (host_cpu_count ());
+      Printf.fprintf oc "    \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+      Printf.fprintf oc "    \"ocaml_version\": \"%s\",\n" (json_escape Sys.ocaml_version);
+      Printf.fprintf oc "    \"os_type\": \"%s\",\n" (json_escape Sys.os_type);
+      Printf.fprintf oc "    \"word_size\": %d\n" Sys.word_size;
+      Printf.fprintf oc "  },\n";
       Printf.fprintf oc "  \"wall_clock_seconds\": %s,\n" (json_float wall_clock_s);
       Printf.fprintf oc "  \"metrics\": {";
       List.iteri
@@ -113,6 +142,44 @@ let synthetic_graph ?(sparsity = 1.0) ?(extra_per_var = 1) rng n =
       let b = (a + 1 + Prng.int_below rng (n - 1)) mod n in
       add_edge (min a b) (max a b)
     done;
+  g
+
+(* A synthetic scale graph for the async-Gibbs scaling study: [n] query
+   variables with unary biases plus pairwise conjunction factors — a
+   chain edge v—(v+1) and [extra_per_var] random edges per variable whose
+   endpoints lie within [locality] positions of each other.  The window
+   mirrors the document-local factor structure KBC grounding produces
+   (mentions of one document share factors; cross-document factors are
+   rare), and is what makes a contiguous variable range a contiguous
+   working set: the async sampler's per-worker ranges stay
+   cache-resident across an epoch, where the chromatic classes of the
+   color-sync sampler scatter over the whole graph.  All variables are
+   query variables, so a sweep's work is exactly [n] conditionals. *)
+let scale_graph ?(extra_per_var = 2) ?(locality = 512) rng n =
+  let g = Graph.create () in
+  let vars = Graph.add_vars g n in
+  Array.iter
+    (fun v ->
+      let w = Graph.add_weight g (Prng.float_range rng (-0.5) 0.5) in
+      ignore (Graph.unary g ~weight:w v))
+    vars;
+  let add_edge a b =
+    if a <> b then begin
+      let w = Graph.add_weight g (Prng.float_range rng (-0.5) 0.5) in
+      ignore (Graph.pairwise g ~weight:w vars.(min a b) vars.(max a b))
+    end
+  in
+  for k = 0 to n - 2 do
+    add_edge k (k + 1)
+  done;
+  let window = max 1 locality in
+  for v = 0 to n - 1 do
+    for _ = 1 to extra_per_var do
+      let off = 1 + Prng.int_below rng window in
+      let u = if Prng.bool rng then v + off else v - off in
+      if u >= 0 && u < n then add_edge v u
+    done
+  done;
   g
 
 (* Perturb every pairwise/unary weight by gaussian noise of scale [delta];

@@ -36,6 +36,7 @@ module _ = Scaling
 module _ = Gibbs_kernel
 module _ = Grounding_bench
 module _ = Ingestion
+module _ = Async_gibbs
 
 type cli = { full : bool; list : bool; json : string option; names : string list }
 

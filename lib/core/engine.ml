@@ -27,6 +27,7 @@ type options = {
   disable_variational : bool;
   workload_aware : bool;
   parallel_domains : int;
+  gibbs_mode : Par_gibbs.gibbs_mode;
   step_budget : Budget.spec;
   seed : int;
 }
@@ -48,6 +49,7 @@ let default_options =
     disable_variational = false;
     workload_aware = true;
     parallel_domains = 1;
+    gibbs_mode = Par_gibbs.Color_sync;
     step_budget = Budget.Unlimited;
     seed = 42;
   }
@@ -287,9 +289,9 @@ let apply_update t update =
       let m, secs =
         Timer.time (fun () ->
             let kernel = compiled_kernel t in
-            if t.opts.parallel_domains > 1 then
+            if t.opts.parallel_domains > 1 || t.opts.gibbs_mode = Par_gibbs.Async then
               Par_gibbs.marginals ~burn_in:t.opts.burn_in ~budget ~kernel
-                ~domains:t.opts.parallel_domains t.rng (graph t)
+                ~mode:t.opts.gibbs_mode ~domains:t.opts.parallel_domains t.rng (graph t)
                 ~sweeps:t.opts.inference_chain
             else
               Compiled.marginals ~burn_in:t.opts.burn_in ~budget t.rng kernel
@@ -410,9 +412,9 @@ let rerun ?(options = default_options) db prog =
       }
     rng g;
   let marginals =
-    if options.parallel_domains > 1 then
-      Par_gibbs.marginals ~burn_in:options.burn_in ~domains:options.parallel_domains rng g
-        ~sweeps:options.inference_chain
+    if options.parallel_domains > 1 || options.gibbs_mode = Par_gibbs.Async then
+      Par_gibbs.marginals ~burn_in:options.burn_in ~mode:options.gibbs_mode
+        ~domains:options.parallel_domains rng g ~sweeps:options.inference_chain
     else
       Compiled.marginals ~burn_in:options.burn_in rng (Compiled.compile g)
         ~sweeps:options.inference_chain

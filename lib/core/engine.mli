@@ -46,11 +46,23 @@ type options = {
           full-Gibbs fallbacks as color-synchronous parallel sweeps —
           deterministic per [(seed, N)], but a different chain than
           [N = 1]. *)
+  gibbs_mode : Dd_parallel.Par_gibbs.gibbs_mode;
+      (** scheduling of full-Gibbs inference sweeps.  [Color_sync]
+          (default) barriers between chromatic color phases and is the
+          bit-exact reference; [Async] free-runs
+          [max parallel_domains 1] lock-free workers over contiguous
+          variable ranges with benign races (DimmWitted-style),
+          synchronizing only at epoch boundaries — statistically
+          equivalent, not bit-reproducible across domain counts or
+          scheduling.  [Async] takes effect even at
+          [parallel_domains = 1] (single free-running worker, bit-exact
+          with the sequential chain). *)
   step_budget : Dd_util.Budget.spec;
       (** cooperative deadline for one [apply_update] step, polled per
-          Gibbs sweep / color phase and per DRed batch; exhaustion raises
-          {!Dd_util.Budget.Exceeded}, which {!Txn} classifies as
-          [`Inference_timeout].  Default [Unlimited]. *)
+          Gibbs sweep / color phase / async epoch-and-range-chunk and
+          per DRed batch; exhaustion raises {!Dd_util.Budget.Exceeded},
+          which {!Txn} classifies as [`Inference_timeout].  Default
+          [Unlimited]. *)
   seed : int;
 }
 

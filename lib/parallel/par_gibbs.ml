@@ -5,6 +5,10 @@ module Compiled = Dd_inference.Compiled
 module Prng = Dd_util.Prng
 module Budget = Dd_util.Budget
 
+type gibbs_mode = Color_sync | Async
+
+let gibbs_mode_to_string = function Color_sync -> "color-sync" | Async -> "async"
+
 type parallel = {
   rngs : Prng.t array;  (** stream [d] is consumed only by domain [d] *)
   plan : Graph.var array array array;  (** color -> domain -> variables *)
@@ -13,13 +17,23 @@ type parallel = {
   num_colors : int;
 }
 
+type async = {
+  a_rngs : Prng.t array;  (** one independent stream per logical worker *)
+  a_spans : Range.span array;  (** worker -> contiguous span of the packed query array *)
+  a_pool : Pool.t;
+  a_owns_pool : bool;
+  a_slots : int;  (** hardware slots actually woken: min(workers, pool size) *)
+  mutable a_counters_stale : bool;
+}
+
 type mode =
   | Sequential of Prng.t  (** [domains = 1]: byte-for-byte Fast_gibbs *)
   | Parallel of parallel
+  | Async_mode of async
 
 type t = { state : Compiled.state; mode : mode; domains : int }
 
-let create ?init ?pool ?kernel ~domains rng g =
+let create ?init ?pool ?(mode = Color_sync) ?kernel ~domains rng g =
   if domains < 1 then invalid_arg "Par_gibbs.create: domains must be >= 1";
   let kernel =
     match kernel with
@@ -30,8 +44,9 @@ let create ?init ?pool ?kernel ~domains rng g =
     | None -> Compiled.compile g
   in
   let state = Compiled.make_state ?init rng kernel in
-  if domains = 1 then { state; mode = Sequential rng; domains }
-  else begin
+  match mode with
+  | Color_sync when domains = 1 -> { state; mode = Sequential rng; domains }
+  | Color_sync ->
     let partition = Partition.color g in
     let plan = Partition.slices partition ~domains in
     (* Splitting after [Compiled.make_state] keeps the initial assignment
@@ -50,13 +65,46 @@ let create ?init ?pool ?kernel ~domains rng g =
       mode = Parallel { rngs; plan; pool; owns_pool; num_colors = partition.Partition.num_colors };
       domains;
     }
-  end
+  | Async ->
+    (* [domains] logical workers, each owning one contiguous cost-balanced
+       span of the packed query array.  The pool is sized to the hardware
+       (never oversubscribed): when fewer slots than workers are
+       available, each slot runs a deterministic block of workers
+       back-to-back — worker [w] still consumes only its own stream and
+       range, so shrinking the slot count changes scheduling, not work
+       assignment. *)
+    let query = Compiled.query_vars kernel in
+    let spans =
+      Range.spans
+        ~cost:(fun i -> Compiled.async_cost kernel query.(i))
+        ~workers:domains (Array.length query)
+    in
+    (* A single worker keeps the caller's stream: its trajectory is then
+       bit-identical to the sequential sampler's (the async conditional
+       equals the counter-based one when unraced). *)
+    let rngs =
+      if domains = 1 then [| rng |] else Array.init domains (fun _ -> Prng.split rng)
+    in
+    let pool, owns_pool =
+      match pool with
+      | Some p -> (p, false)
+      | None -> (Pool.create (min domains (Pool.recommended ())), true)
+    in
+    let slots = min domains (Pool.size pool) in
+    {
+      state;
+      mode = Async_mode { a_rngs = rngs; a_spans = spans; a_pool = pool; a_owns_pool = owns_pool; a_slots = slots; a_counters_stale = false };
+      domains;
+    }
 
 let assignment t = Compiled.snapshot t.state
 
 let domains t = t.domains
 
-let phases t = match t.mode with Sequential _ -> 1 | Parallel p -> p.num_colors
+let mode t =
+  match t.mode with Sequential _ | Parallel _ -> Color_sync | Async_mode _ -> Async
+
+let phases t = match t.mode with Sequential _ | Async_mode _ -> 1 | Parallel p -> p.num_colors
 
 let run_phase_with sweep p phase =
   (* Count the slices that actually hold work: a class smaller than the
@@ -75,22 +123,77 @@ let run_phase_with sweep p phase =
     let d = !last in
     sweep p.rngs.(d) phase.(d)
   else if !busy > 1 then
-    Pool.run p.pool (fun d -> if d < Array.length phase then sweep p.rngs.(d) phase.(d))
+    (* [limit] keeps the parked tail of an oversized shared pool asleep:
+       only the [Array.length phase] indexes the plan addresses run. *)
+    Pool.run ~limit:(Array.length phase) p.pool (fun d ->
+        if d < Array.length phase then sweep p.rngs.(d) phase.(d))
 
 let run_phase state p phase =
   run_phase_with (fun rng slice -> Compiled.sweep_slice rng state slice) p phase
+
+(* One async epoch: every worker free-runs [sweeps] passes over its own
+   span with no intermediate synchronization; the single [Pool.run] join
+   at the end is the epoch barrier that publishes the bytes (and the
+   per-worker [totals] shards) to the coordinator.  Logical workers are
+   multiplexed onto the pool's hardware slots in deterministic blocks. *)
+let run_async_epoch st a ~budget ~sweeps ~totals =
+  a.a_counters_stale <- true;
+  let workers = Array.length a.a_spans in
+  let slots = a.a_slots in
+  Pool.run ~limit:slots a.a_pool (fun s ->
+      for w = s * workers / slots to ((s + 1) * workers / slots) - 1 do
+        let rng = a.a_rngs.(w) and span = a.a_spans.(w) in
+        if Range.length span > 0 then
+          for _ = 1 to sweeps do
+            Compiled.sweep_span_async_budgeted ~budget ~site:"par_gibbs.async_range" rng st
+              ~lo:span.Range.lo ~hi:span.Range.hi;
+            match totals with
+            | Some tot ->
+              (* Spans are disjoint: each worker owns its cells of [tot]. *)
+              Compiled.accumulate_span_true st ~lo:span.Range.lo ~hi:span.Range.hi tot
+            | None -> ()
+          done
+      done)
 
 let sweep t =
   match t.mode with
   | Sequential rng -> Compiled.sweep rng t.state
   | Parallel p -> Array.iter (run_phase t.state p) p.plan
+  | Async_mode a -> run_async_epoch t.state a ~budget:Budget.unlimited ~sweeps:1 ~totals:None
+
+let sweep_epoch ?(budget = Budget.unlimited) ?totals t ~sweeps =
+  if sweeps < 0 then invalid_arg "Par_gibbs.sweep_epoch: sweeps must be >= 0";
+  match t.mode with
+  | Async_mode a ->
+    Budget.check budget "par_gibbs.epoch";
+    run_async_epoch t.state a ~budget ~sweeps ~totals
+  | Sequential rng ->
+    for _ = 1 to sweeps do
+      Budget.check budget "par_gibbs.sweep";
+      Compiled.sweep rng t.state;
+      match totals with
+      | Some tot -> Compiled.accumulate_span_true t.state ~lo:0 ~hi:(Compiled.num_query (Compiled.kernel t.state)) tot
+      | None -> ()
+    done
+  | Parallel _ ->
+    invalid_arg "Par_gibbs.sweep_epoch: color-sync multi-domain sampler has no epoch loop"
+
+let resync t =
+  match t.mode with
+  | Async_mode a when a.a_counters_stale ->
+    Compiled.rebuild_counters t.state;
+    a.a_counters_stale <- false
+  | _ -> ()
 
 (* The budget is polled both on the coordinator between color phases and
    inside every worker slice (chunked, see [Compiled.sweep_slice_budgeted])
    — one oversized color cannot stretch a deadline past its budget.  A
    worker-side [Exceeded] is re-raised by [Pool.run] after the barrier:
    the other workers complete their (disjoint) slices first, so the shared
-   state is never torn when the exception escapes. *)
+   state is never torn when the exception escapes.  In async mode the
+   poll sits inside every worker's chunked range sweep; an abort leaves
+   only whole assignment bytes behind (the counters were already treated
+   as stale), so the shared state stays untorn there too. *)
 let sweep_budgeted budget t =
   match t.mode with
   | Sequential rng ->
@@ -105,27 +208,60 @@ let sweep_budgeted budget t =
             Compiled.sweep_slice_budgeted ~budget ~site:"par_gibbs.slice" rng t.state slice)
           p phase)
       p.plan
+  | Async_mode a ->
+    Budget.check budget "par_gibbs.epoch";
+    run_async_epoch t.state a ~budget ~sweeps:1 ~totals:None
 
 let shutdown t =
   match t.mode with
   | Sequential _ -> ()
   | Parallel p -> if p.owns_pool then Pool.shutdown p.pool
+  | Async_mode a -> if a.a_owns_pool then Pool.shutdown a.a_pool
 
-let marginals ?(burn_in = 10) ?(budget = Budget.unlimited) ?kernel ~domains rng g ~sweeps =
-  let t = create ?kernel ~domains rng g in
+let async_marginals_of_totals t totals ~sweeps =
+  let st = t.state in
+  let kernel = Compiled.kernel st in
+  let n = Compiled.num_vars kernel in
+  let denom = float_of_int (max 1 sweeps) in
+  (* Evidence variables never move: their marginal is their clamped
+     value, matching what per-sweep [accumulate_true] would have
+     counted. *)
+  let m = Array.init n (fun v -> if Compiled.value st v then 1.0 else 0.0) in
+  Array.iter (fun v -> m.(v) <- float_of_int totals.(v) /. denom) (Compiled.query_vars kernel);
+  m
+
+let marginals ?(burn_in = 10) ?(budget = Budget.unlimited) ?kernel ?(mode = Color_sync)
+    ?(epoch_sweeps = 8) ~domains rng g ~sweeps =
+  if epoch_sweeps < 1 then invalid_arg "Par_gibbs.marginals: epoch_sweeps must be >= 1";
+  let t = create ?kernel ~mode ~domains rng g in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->
-      for _ = 1 to burn_in do
-        sweep_budgeted budget t
-      done;
-      let n = Graph.num_vars g in
-      let totals = Array.make n 0 in
-      for _ = 1 to sweeps do
-        sweep_budgeted budget t;
-        Compiled.accumulate_true t.state totals
-      done;
-      Array.map (fun c -> float_of_int c /. float_of_int (max 1 sweeps)) totals)
+      match t.mode with
+      | Async_mode _ ->
+        let run_epochs total totals =
+          let remaining = ref total in
+          while !remaining > 0 do
+            let chunk = min epoch_sweeps !remaining in
+            sweep_epoch ~budget ?totals t ~sweeps:chunk;
+            remaining := !remaining - chunk
+          done
+        in
+        let totals = Array.make (Graph.num_vars g) 0 in
+        run_epochs burn_in None;
+        run_epochs sweeps (Some totals);
+        async_marginals_of_totals t totals ~sweeps
+      | Sequential _ | Parallel _ ->
+        for _ = 1 to burn_in do
+          sweep_budgeted budget t
+        done;
+        let n = Graph.num_vars g in
+        let totals = Array.make n 0 in
+        for _ = 1 to sweeps do
+          sweep_budgeted budget t;
+          Compiled.accumulate_true t.state totals
+        done;
+        Array.map (fun c -> float_of_int c /. float_of_int (max 1 sweeps)) totals)
 
 (* Deterministic near-equal split of [n] across [chains]. *)
 let share n chains c = (n * (c + 1) / chains) - (n * c / chains)

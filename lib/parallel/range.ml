@@ -1,0 +1,32 @@
+type span = { lo : int; hi : int }
+
+let length s = s.hi - s.lo
+
+let total_length spans = Array.fold_left (fun acc s -> acc + length s) 0 spans
+
+let spans ?cost ~workers n =
+  if workers < 1 then invalid_arg "Range.spans: workers must be >= 1";
+  if n < 0 then invalid_arg "Range.spans: n must be >= 0";
+  let cost =
+    match cost with None -> fun _ -> 1 | Some f -> fun i -> max 0 (f i)
+  in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    total := !total + cost i
+  done;
+  let total = !total in
+  let out = Array.make workers { lo = 0; hi = 0 } in
+  let i = ref 0 and acc = ref 0 in
+  for w = 0 to workers - 1 do
+    let lo = !i in
+    (* Close the span once the cost prefix reaches the next equal-share
+       boundary; the last worker absorbs whatever is left (including any
+       run of zero-cost items). *)
+    let target = (w + 1) * total / workers in
+    while !i < n && (w = workers - 1 || !acc < target) do
+      acc := !acc + cost !i;
+      incr i
+    done;
+    out.(w) <- { lo; hi = !i }
+  done;
+  out

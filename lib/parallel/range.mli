@@ -1,0 +1,30 @@
+(** Cost-balanced contiguous range scheduling for the async sampler.
+
+    The color-synchronous sampler slices each color class across domains
+    ({!Partition.slices}); the asynchronous sampler instead gives every
+    logical worker one {e contiguous} span of the compiled kernel's packed
+    query array, so a worker's sweep walks adjacent CSR rows — the layout
+    that makes an epoch of repeated range sweeps cache-resident.  Because
+    variable degrees are skewed (a few hub variables touch many factors),
+    equal-{e count} spans would load-imbalance a free-running epoch; spans
+    are therefore balanced by a caller-supplied per-item cost (for Gibbs,
+    the literal-scan work of one conditional).
+
+    Deterministic: [spans] is a pure function of [(n, workers, cost)]. *)
+
+type span = { lo : int; hi : int }
+(** Half-open index interval [\[lo, hi)].  May be empty ([lo = hi]). *)
+
+val spans : ?cost:(int -> int) -> workers:int -> int -> span array
+(** [spans ~cost ~workers n] partitions [\[0, n)] into exactly [workers]
+    contiguous, disjoint, ascending spans whose summed costs are
+    near-equal (each span closes once its prefix reaches the next
+    [total / workers] boundary; the last span absorbs the remainder).
+    [cost] defaults to uniform ([fun _ -> 1]); negative costs are
+    clamped to 0.  Raises [Invalid_argument] when [workers < 1] or
+    [n < 0]. *)
+
+val length : span -> int
+
+val total_length : span array -> int
+(** Sum of span lengths — [n] when the spans partition [\[0, n)]. *)

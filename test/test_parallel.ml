@@ -12,7 +12,9 @@ module Gibbs = Dd_inference.Gibbs
 module Fast_gibbs = Dd_inference.Fast_gibbs
 module Partition = Dd_parallel.Partition
 module Pool = Dd_parallel.Pool
+module Range = Dd_parallel.Range
 module Par_gibbs = Dd_parallel.Par_gibbs
+module Compiled = Dd_inference.Compiled
 module Materialize = Dd_core.Materialize
 module Engine = Dd_core.Engine
 module Grounding = Dd_core.Grounding
@@ -326,6 +328,205 @@ let test_par_fig_kbc_agreement () =
   if agreement.Quality.max_diff > 0.15 then
     Alcotest.failf "max marginal difference %.3f > 0.15" agreement.Quality.max_diff
 
+(* --- async mode --------------------------------------------------------- *)
+
+(* The exactly-once contract of a sweep, for both schedulers: the
+   color-sync slices (above, [test_slices_cover]) and the async range
+   plan.  [Range.spans] must tile [0, n) with contiguous, disjoint,
+   ascending spans for any worker count and any cost skew. *)
+let range_qcheck =
+  let open QCheck in
+  let tiles n workers cost =
+    let spans = Range.spans ~cost ~workers n in
+    Array.length spans = workers
+    && Range.total_length spans = n
+    && (n = 0
+       || (spans.(0).Range.lo = 0
+          && spans.(workers - 1).Range.hi = n
+          && Array.for_all (fun s -> s.Range.lo <= s.Range.hi) spans
+          &&
+          let ok = ref true in
+          for i = 0 to workers - 2 do
+            ok := !ok && spans.(i).Range.hi = spans.(i + 1).Range.lo
+          done;
+          !ok))
+  in
+  [
+    Test.make ~name:"range spans tile [0,n) for any cost skew" ~count:80
+      (triple (int_range 0 300) (int_range 1 12) small_int)
+      (fun (n, workers, salt) ->
+        tiles n workers (fun i -> (i * (salt + 3)) mod 17) && tiles n workers (fun _ -> 1));
+    Test.make ~name:"async plan visits every query variable exactly once per sweep" ~count:30
+      (pair small_int (int_range 1 9))
+      (fun (seed, workers) ->
+        let g = random_graph seed in
+        let kernel = Compiled.compile g in
+        let query = Compiled.query_vars kernel in
+        let spans =
+          Range.spans
+            ~cost:(fun i -> Compiled.async_cost kernel query.(i))
+            ~workers (Array.length query)
+        in
+        let visits = Array.make (Array.length query) 0 in
+        Array.iter
+          (fun s ->
+            for i = s.Range.lo to s.Range.hi - 1 do
+              visits.(i) <- visits.(i) + 1
+            done)
+          spans;
+        Array.for_all (fun c -> c = 1) visits);
+  ]
+
+(* Async with one worker keeps the caller's PRNG stream and recomputes
+   exactly the counter-derived conditional, so its trajectory is
+   bit-identical to the sequential compiled sweep — over graphs mixing
+   evidence, negated literals, multi-body factors and all semantics. *)
+let test_async_bit_exact_vs_sequential () =
+  List.iter
+    (fun seed ->
+      let g = random_graph ~nvars:40 seed in
+      let seq = Par_gibbs.create ~domains:1 (Prng.create 7) g in
+      let asy = Par_gibbs.create ~mode:Par_gibbs.Async ~domains:1 (Prng.create 7) g in
+      for _ = 1 to 5 do
+        Par_gibbs.sweep seq;
+        Par_gibbs.sweep asy
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d identical" seed)
+        true
+        (Par_gibbs.assignment seq = Par_gibbs.assignment asy);
+      Par_gibbs.shutdown seq;
+      Par_gibbs.shutdown asy)
+    [ 1; 5; 17 ]
+
+(* Split worker streams + deterministic block multiplexing: a fixed seed
+   reproduces the async trajectory exactly whenever a single hardware
+   slot executes — domains = 1, or many logical workers on a pool of
+   size 1. *)
+let test_async_fixed_seed_deterministic () =
+  let g = random_graph ~nvars:30 31 in
+  let run_1d () =
+    Par_gibbs.marginals ~mode:Par_gibbs.Async ~epoch_sweeps:4 ~burn_in:20 ~domains:1
+      (Prng.create 55) g ~sweeps:200
+  in
+  Alcotest.(check bool) "domains = 1 trajectories identical" true (run_1d () = run_1d ());
+  let pool = Pool.create 1 in
+  let run_4w () =
+    let t = Par_gibbs.create ~mode:Par_gibbs.Async ~pool ~domains:4 (Prng.create 56) g in
+    Alcotest.(check int) "async has one phase" 1 (Par_gibbs.phases t);
+    Par_gibbs.sweep_epoch t ~sweeps:6;
+    Par_gibbs.shutdown t;
+    Par_gibbs.assignment t
+  in
+  Alcotest.(check bool) "4 workers on 1 slot reproduce" true (run_4w () = run_4w ());
+  Pool.shutdown pool
+
+let test_async_marginals_match_exact () =
+  let g = random_graph ~nvars:8 2 in
+  let exact = Exact.marginals g in
+  let m =
+    Par_gibbs.marginals ~mode:Par_gibbs.Async ~epoch_sweeps:8 ~burn_in:300 ~domains:3
+      (Prng.create 61) g ~sweeps:12000
+  in
+  Alcotest.(check bool) "within 4%" true (Stats.max_abs_diff m exact < 0.04)
+
+(* Short statistical-equivalence tier: async vs color-sync on a second
+   enumerable graph — the two schedulers must answer with the same
+   posterior even though their trajectories differ. *)
+let test_async_agrees_with_colorsync () =
+  let g = random_graph ~nvars:9 44 in
+  let sweeps = 10000 in
+  let asy =
+    Par_gibbs.marginals ~mode:Par_gibbs.Async ~epoch_sweeps:8 ~burn_in:300 ~domains:3
+      (Prng.create 62) g ~sweeps
+  in
+  let sync = Par_gibbs.marginals ~burn_in:300 ~domains:3 (Prng.create 63) g ~sweeps in
+  Alcotest.(check bool) "within 5%" true (Stats.max_abs_diff asy sync < 0.05)
+
+(* [Pool.run ~limit] must wake only the leading workers — the parked
+   tail of an oversized shared pool stays asleep. *)
+let test_pool_run_limit () =
+  let pool = Pool.create 4 in
+  let hits = Array.make 4 0 in
+  Pool.run ~limit:2 pool (fun d -> hits.(d) <- hits.(d) + 1);
+  Alcotest.(check (array int)) "only workers < limit ran" [| 1; 1; 0; 0 |] hits;
+  Pool.run pool (fun d -> hits.(d) <- hits.(d) + 1);
+  Alcotest.(check (array int)) "full run still works" [| 2; 2; 1; 1 |] hits;
+  Alcotest.(check bool) "limit 0 rejected" true
+    (match Pool.run ~limit:0 pool (fun _ -> ()) with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "limit > size rejected" true
+    (match Pool.run ~limit:5 pool (fun _ -> ()) with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Pool.shutdown pool
+
+(* Budget polling inside free-running ranges.  On a pool of size 1 the
+   poll count is a pure function of the shapes: 600 unary query vars
+   split 200/200/200, chunk size 128 -> 2 polls per worker sweep; one
+   epoch of 2 sweeps = 1 coordinator poll + 3 x 2 x 2 worker polls =
+   13 ticks.  Exactly enough is bit-identical to free-running; one tick
+   short raises from the worker site and leaves the bytes whole. *)
+let test_async_budget_ticks () =
+  let module Budget = Dd_util.Budget in
+  let g = unary_graph 600 in
+  let pool = Pool.create 1 in
+  let epoch budget =
+    let t = Par_gibbs.create ~mode:Par_gibbs.Async ~pool ~domains:3 (Prng.create 90) g in
+    Fun.protect
+      ~finally:(fun () -> Par_gibbs.shutdown t)
+      (fun () ->
+        Par_gibbs.sweep_epoch ?budget t ~sweeps:2;
+        Par_gibbs.assignment t)
+  in
+  let free = epoch None in
+  let exact = epoch (Some (Budget.start (Budget.Ticks 13))) in
+  Alcotest.(check bool) "budgeted epoch is bit-identical" true (free = exact);
+  (match epoch (Some (Budget.start (Budget.Ticks 12))) with
+  | _ -> Alcotest.fail "expected Budget.Exceeded from an async range"
+  | exception Budget.Exceeded site ->
+    Alcotest.(check string) "async range site" "par_gibbs.async_range" site);
+  (* After a worker-side abort the sampler state stays usable: bytes are
+     whole and the stale counters rebuild on demand. *)
+  let t = Par_gibbs.create ~mode:Par_gibbs.Async ~pool ~domains:3 (Prng.create 91) g in
+  (try Par_gibbs.sweep_epoch ~budget:(Budget.start (Budget.Ticks 5)) t ~sweeps:2
+   with Budget.Exceeded _ -> ());
+  Par_gibbs.resync t;
+  Par_gibbs.sweep_epoch t ~sweeps:1;
+  Alcotest.(check int) "assignment whole after abort" 600
+    (Array.length (Par_gibbs.assignment t));
+  Par_gibbs.shutdown t;
+  Pool.shutdown pool
+
+let test_engine_async_smoke () =
+  (* End-to-end: both lesions force the full-Gibbs fallback, and
+     [gibbs_mode = Async] routes it through the free-running sampler. *)
+  let corpus = Corpus.generate tiny_news in
+  let db = Database.create () in
+  Corpus.load corpus db;
+  let options =
+    {
+      Engine.default_options with
+      Engine.materialization_samples = 40;
+      inference_chain = 60;
+      initial_learning_epochs = 5;
+      with_variational = false;
+      disable_sampling = true;
+      disable_variational = true;
+      parallel_domains = 2;
+      gibbs_mode = Par_gibbs.Async;
+    }
+  in
+  let engine = Engine.create ~options db (Pipeline.base_program ()) in
+  let report = Engine.apply_update engine (Grounding.rules_update []) in
+  Alcotest.(check string) "full gibbs" "full-gibbs"
+    (Engine.strategy_used_to_string report.Engine.strategy);
+  Array.iter
+    (fun m ->
+      Alcotest.(check bool) "marginal in [0,1]" true (m >= 0.0 && m <= 1.0))
+    (Engine.marginals engine)
+
 let test_engine_parallel_smoke () =
   (* End-to-end: an engine configured with parallel_domains > 1
      materializes through parallel chains and stays numerically sane. *)
@@ -368,6 +569,7 @@ let () =
           Alcotest.test_case "runs all indices, reusable" `Quick test_pool_runs_all_indices;
           Alcotest.test_case "propagates exceptions" `Quick test_pool_propagates_exception;
           Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+          Alcotest.test_case "limit wakes only leading workers" `Quick test_pool_run_limit;
         ] );
       ( "sequential equivalence",
         [
@@ -390,5 +592,18 @@ let () =
           Alcotest.test_case "budget polled inside worker slices" `Quick
             test_budgeted_worker_slices;
         ] );
+      ( "async",
+        [
+          Alcotest.test_case "bit-exact vs sequential at 1 worker" `Quick
+            test_async_bit_exact_vs_sequential;
+          Alcotest.test_case "fixed seed reproduces trajectories" `Quick
+            test_async_fixed_seed_deterministic;
+          Alcotest.test_case "marginals vs exact" `Slow test_async_marginals_match_exact;
+          Alcotest.test_case "agrees with color-sync" `Slow test_async_agrees_with_colorsync;
+          Alcotest.test_case "budget polled inside ranges" `Quick test_async_budget_ticks;
+          Alcotest.test_case "engine smoke with gibbs_mode async" `Quick
+            test_engine_async_smoke;
+        ] );
       ("partition properties", List.map QCheck_alcotest.to_alcotest partition_qcheck);
+      ("range properties", List.map QCheck_alcotest.to_alcotest range_qcheck);
     ]
