@@ -35,6 +35,7 @@ module _ = Serving
 module _ = Scaling
 module _ = Gibbs_kernel
 module _ = Grounding_bench
+module _ = Columnar
 module _ = Ingestion
 module _ = Async_gibbs
 

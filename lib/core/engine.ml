@@ -29,6 +29,7 @@ type options = {
   parallel_domains : int;
   gibbs_mode : Par_gibbs.gibbs_mode;
   step_budget : Budget.spec;
+  relation_backend : Relation.backend;
   seed : int;
 }
 
@@ -51,6 +52,7 @@ let default_options =
     parallel_domains = 1;
     gibbs_mode = Par_gibbs.Color_sync;
     step_budget = Budget.Unlimited;
+    relation_backend = Relation.Row;
     seed = 42;
   }
 
@@ -149,6 +151,10 @@ let sample_mean_marginals mat nvars =
   Array.map (fun c -> float_of_int c /. float_of_int n) totals
 
 let create ?(options = default_options) db prog =
+  (* Settle the storage backend before grounding so derived tables made by
+     the evaluator inherit it; tables already on the right backend are
+     untouched. *)
+  Database.convert_all db options.relation_backend;
   let grounding = Grounding.ground db prog in
   Fault.hit "engine.create.post_ground";
   let t =
@@ -400,6 +406,7 @@ let rematerialize t = Timer.time_s (fun () -> materialize_now t)
 
 let rerun ?(options = default_options) db prog =
   let timer = Timer.start () in
+  Database.convert_all db options.relation_backend;
   let grounding = Grounding.ground db prog in
   let rng = Prng.create options.seed in
   let g = Grounding.graph grounding in

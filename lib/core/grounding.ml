@@ -182,9 +182,17 @@ let grounding_body t env (r : Program.inference_rule) =
     r.Program.body
   |> Array.of_list
 
+(* Weight creation is deferred to {!flush_groups}: creating weights at
+   [add_grounding] time would assign weight ids in env-discovery order,
+   which differs between storage backends (hash iteration vs sorted runs).
+   The group records what is needed to create the weight at flush, where
+   groups are processed in sorted key order — so var, weight and factor ids
+   are all canonical functions of the grounded content, and the row and
+   columnar engines produce bit-identical graphs. *)
 type pending_group = {
   head_var : Graph.var;
-  weight_id : Graph.weight_id;
+  rule : Program.inference_rule;
+  wkey : string;
   semantics : Semantics.t;
   mutable new_bodies : Graph.literal array list;
 }
@@ -215,45 +223,55 @@ and add_grounding_strict t pending (r : Program.inference_rule) env =
   | None -> raise (Missing_candidate (r.Program.head.Ast.pred, head_tuple))
   | Some head_var ->
     let wkey = weight_key r env in
-    let weight_id = find_or_create_weight t r wkey in
     let key = group_key r head_tuple wkey in
     let body = grounding_body t env r in
     let group =
       match Hashtbl.find_opt pending key with
       | Some g -> g
       | None ->
-        let g = { head_var; weight_id; semantics = r.Program.semantics; new_bodies = [] } in
+        let g = { head_var; rule = r; wkey; semantics = r.Program.semantics; new_bodies = [] } in
         Hashtbl.replace pending key g;
         g
     in
     group.new_bodies <- body :: group.new_bodies
 
 (* Flush pending groups into the graph.  Returns (new factor ids, extended
-   factors with their prior body counts). *)
+   factors with their prior body counts).  Groups are flushed in sorted key
+   order and each group's bodies in sorted literal order, so weight and
+   factor ids — and every factor's body layout — depend only on the set of
+   groundings, not on the order the storage backend discovered them in. *)
+let compare_bodies (a : Graph.literal array) (b : Graph.literal array) =
+  compare a b
+
 let flush_groups t pending =
+  let keys = Hashtbl.fold (fun key _ acc -> key :: acc) pending [] in
+  let keys = List.sort String.compare keys in
   let new_factors = ref [] and extended = ref [] in
-  Hashtbl.iter
-    (fun key group ->
+  List.iter
+    (fun key ->
+      let group = Hashtbl.find pending key in
       let bodies = Array.of_list (List.rev group.new_bodies) in
+      Array.sort compare_bodies bodies;
       match Hashtbl.find_opt t.factor_table key with
       | Some fid ->
         let old_count = Array.length (Graph.factor t.graph fid).Graph.bodies in
         Graph.extend_factor t.graph fid bodies;
         extended := (fid, old_count) :: !extended
       | None ->
+        let weight_id = find_or_create_weight t group.rule group.wkey in
         let fid =
           Graph.add_factor t.graph
             {
               Graph.head = Some group.head_var;
               bodies;
-              weight_id = group.weight_id;
+              weight_id;
               semantics = group.semantics;
             }
         in
         Hashtbl.replace t.factor_table key fid;
         new_factors := fid :: !new_factors)
-    pending;
-  (!new_factors, !extended)
+    keys;
+  (List.rev !new_factors, List.rev !extended)
 
 let inference_rule_ast (r : Program.inference_rule) =
   Ast.rule ~guards:r.Program.guards r.Program.head r.Program.body
@@ -284,17 +302,20 @@ let ground db prog =
       plans;
     }
   in
-  (* One variable per query tuple, with evidence labels. *)
+  (* One variable per query tuple, with evidence labels.  Tuples are
+     processed in sorted order so var ids do not depend on the storage
+     backend's iteration order. *)
   List.iter
     (fun (pred, _) ->
       match Database.find_opt db pred with
       | None -> ()
       | Some rel ->
-        Relation.iter
-          (fun tuple _ ->
+        let tuples = Relation.fold (fun tuple _ acc -> tuple :: acc) rel [] in
+        List.iter
+          (fun tuple ->
             let v = create_var t pred tuple in
             apply_evidence_to_var t pred tuple v)
-          rel)
+          (List.sort Tuple.compare tuples))
     prog.Program.query_relations;
   (* Ground the inference rules through compiled plans. *)
   let lookup = Plan.view_of_lookup (Engine.lookup_in db) in
@@ -379,6 +400,28 @@ let extend ?(budget = Dd_util.Budget.unlimited) t update =
   (* Crash here = base tables already mutated by DRed, graph untouched. *)
   Dd_util.Fault.hit "grounding.extend.post_dred";
   t.prog <- new_prog;
+  (* Canonicalize a flip list: group the signed entries per tuple (keeping
+     each tuple's chronological sign sequence) and replay tuples in sorted
+     order.  DRed discovers flips in storage-iteration order, which differs
+     between the row and columnar backends; per-tuple chronology is the
+     only order that carries meaning (later signs supersede earlier ones),
+     so this is semantics-preserving and backend-independent. *)
+  let canonical_flips entries =
+    let per_tuple = Tuple.Hashtbl.create 16 in
+    let tuples = ref [] in
+    List.iter
+      (fun (tuple, sign) ->
+        match Tuple.Hashtbl.find_opt per_tuple tuple with
+        | Some signs -> signs := sign :: !signs
+        | None ->
+          Tuple.Hashtbl.replace per_tuple tuple (ref [ sign ]);
+          tuples := tuple :: !tuples)
+      entries;
+    List.concat_map
+      (fun tuple ->
+        List.rev_map (fun sign -> (tuple, sign)) !(Tuple.Hashtbl.find per_tuple tuple))
+      (List.sort Tuple.compare !tuples)
+  in
   (* New variables and clamped deletions. *)
   let new_vars = ref [] in
   let evidence_changes = ref [] in
@@ -402,7 +445,7 @@ let extend ?(budget = Dd_util.Budget.unlimited) t update =
               if old_evidence <> Graph.Evidence false then
                 evidence_changes := (v, old_evidence) :: !evidence_changes
           end)
-        (Dred.Delta.flips flips pred))
+        (canonical_flips (Dred.Delta.flips flips pred)))
     new_prog.Program.query_relations;
   (* Evidence companion changes re-label affected candidates. *)
   List.iter
@@ -414,8 +457,9 @@ let extend ?(budget = Dd_util.Budget.unlimited) t update =
           let arity = Array.length ev_tuple - 1 in
           if arity >= 0 then Tuple.Hashtbl.replace touched (Array.sub ev_tuple 0 arity) ())
         (Dred.Delta.flips flips ev_pred);
-      Tuple.Hashtbl.iter
-        (fun tuple () ->
+      let touched = Tuple.Hashtbl.fold (fun tuple () acc -> tuple :: acc) touched [] in
+      List.iter
+        (fun tuple ->
           match var_of t pred tuple with
           | None -> ()
           | Some v ->
@@ -431,7 +475,7 @@ let extend ?(budget = Dd_util.Budget.unlimited) t update =
                 evidence_changes := (v, old_evidence) :: !evidence_changes
               end
             end)
-        touched)
+        (List.sort Tuple.compare touched))
     new_prog.Program.query_relations;
   phase "vars+evidence";
   (* Staged grounding of existing inference rules over the flips.  The

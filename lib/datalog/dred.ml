@@ -55,14 +55,41 @@ let stratum_level strata pred =
   in
   find 0 strata
 
+(* Canonicalize a batch's entries: net the signed counts per tuple, drop
+   zeros, and order by tuple.  Batch entries are assembled in storage
+   iteration order (plan outputs fold hash tables), which differs between
+   relation backends; netting first means membership flips — and underflow
+   clamping — depend only on the batch's aggregate effect, never on the
+   order contributions happened to be listed in, so the row and columnar
+   engines emit identical flip sequences. *)
+let canonical_entries entries =
+  match entries with
+  | [] | [ _ ] -> entries
+  | _ ->
+    let net = Tuple.Hashtbl.create 16 in
+    let tuples = ref [] in
+    List.iter
+      (fun (tuple, count) ->
+        match Tuple.Hashtbl.find_opt net tuple with
+        | Some c -> Tuple.Hashtbl.replace net tuple (c + count)
+        | None ->
+          Tuple.Hashtbl.replace net tuple count;
+          tuples := tuple :: !tuples)
+      entries;
+    List.filter_map
+      (fun tuple ->
+        match Tuple.Hashtbl.find net tuple with
+        | 0 -> None
+        | c -> Some (tuple, c))
+      (List.sort Tuple.compare !tuples)
+
 (* Apply signed count deltas to a relation; return membership flips. *)
 let apply_entries rel entries =
   List.filter_map
     (fun (tuple, count) ->
       if count = 0 then None
       else if count > 0 then begin
-        let existed = Relation.mem rel tuple in
-        Relation.insert ~count rel tuple;
+        let existed = Relation.insert_prev ~count rel tuple > 0 in
         if existed then None else Some (tuple, 1)
       end
       else begin
@@ -201,6 +228,7 @@ let apply ?plans ?(seeds = []) ?(budget = Budget.unlimited) db program changes =
         in
         Engine.ensure_table db b.pred sample
     in
+    let entries = canonical_entries b.entries in
     let old_view, flips =
       match b.pre with
       | Some pre ->
@@ -213,7 +241,7 @@ let apply ?plans ?(seeds = []) ?(budget = Budget.unlimited) db program changes =
               if before = 0 && after > 0 then Some (tuple, 1)
               else if before > 0 && after <= 0 then Some (tuple, -1)
               else None)
-            b.entries
+            entries
         in
         (Plan.whole pre, flips)
       | None ->
@@ -221,7 +249,7 @@ let apply ?plans ?(seeds = []) ?(budget = Budget.unlimited) db program changes =
            snapshot-free view: the live relation minus the tuples this batch
            flipped in, plus the tuples it flipped out.  Views feed membership
            only, so set semantics suffice — no [Relation.copy]. *)
-        let flips = apply_entries rel b.entries in
+        let flips = apply_entries rel entries in
         let minus = Tuple.Hashtbl.create 8 and plus = Tuple.Hashtbl.create 8 in
         List.iter
           (fun (tuple, sign) ->

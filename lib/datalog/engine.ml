@@ -26,7 +26,10 @@ let ensure_table db pred sample =
   match Database.find_opt db pred with
   | Some r -> r
   | None ->
-    let r = Relation.create ~name:pred (infer_schema sample) in
+    let r =
+      Relation.create ~backend:(Database.backend db) ~name:pred
+        (infer_schema sample)
+    in
     Database.register db r;
     r
 
@@ -66,12 +69,6 @@ let eval_stratum ?plans db (stratum : Stratify.stratum) =
     if in_stratum pred then Plan.whole Matcher.empty_relation
     else Plan.whole (lookup_in db pred)
   in
-  let initial : (string * (Tuple.t * int) list) list =
-    List.map
-      (fun rule ->
-        (Ast.head_pred rule, Plan.run (Plan.Cache.full plans rule) ~lookup:initial_lookup))
-      stratum.Stratify.rules
-  in
   let delta : (string, (Tuple.t * int) list) Hashtbl.t = Hashtbl.create 8 in
   let merge_delta pred entries =
     let existing = try Hashtbl.find delta pred with Not_found -> [] in
@@ -91,8 +88,7 @@ let eval_stratum ?plans db (stratum : Stratify.stratum) =
               if count <= 0 then None
               else begin
                 let r = ensure_table db pred tuple in
-                let existed = Relation.mem r tuple in
-                Relation.insert ~count r tuple;
+                let existed = Relation.insert_prev ~count r tuple > 0 in
                 if existed then None else Some (tuple, 1)
               end)
             entries
@@ -101,7 +97,29 @@ let eval_stratum ?plans db (stratum : Stratify.stratum) =
       contributions;
     Hashtbl.length delta > 0
   in
-  let continue_ = apply_round initial in
+  (* Round 0 streams each grounding straight into the store: in-stratum
+     predicates resolve to the empty view this round, so no plan can
+     observe the inserts, and skipping the contribution lists (and their
+     count-aggregation tables) saves gigabytes of allocation at KBC
+     scale.  [insert_prev] both accumulates the multiplicity and reports
+     the membership flip the semi-naive delta needs; the flip fires on a
+     tuple's first derivation only, exactly as under aggregation. *)
+  Hashtbl.reset delta;
+  List.iter
+    (fun rule ->
+      let head = Ast.head_pred rule in
+      let fresh = ref [] in
+      Plan.run_iter (Plan.Cache.full plans rule) ~lookup:initial_lookup
+        ~f:(fun tuple count ->
+          if count > 0 then begin
+            let r = ensure_table db head tuple in
+            let existed = Relation.insert_prev ~count r tuple > 0 in
+            if (not existed) && stratum.Stratify.recursive then
+              fresh := (tuple, 1) :: !fresh
+          end);
+      if !fresh <> [] then merge_delta head !fresh)
+    stratum.Stratify.rules;
+  let continue_ = Hashtbl.length delta > 0 in
   if continue_ && stratum.Stratify.recursive then begin
     let empty_set : unit Tuple.Hashtbl.t = Tuple.Hashtbl.create 1 in
     let rec loop () =
@@ -152,6 +170,17 @@ let eval_stratum ?plans db (stratum : Stratify.stratum) =
     loop ()
   end
 
+(* Merge every columnar table's delta tail into its sorted run.  Evaluation
+   entry is a safe point (no probe in flight), and tail-free stores take the
+   override-free fast path on every scan and keyed probe below. *)
+let compact_columnar db =
+  List.iter
+    (fun name ->
+      match Relation.columnar (Database.find db name) with
+      | Some cs -> Dd_relational.Column_store.compact cs
+      | None -> ())
+    (Database.table_names db)
+
 let run ?plans db program =
   match Stratify.stratify program with
   | Error e -> Error e
@@ -163,6 +192,7 @@ let run ?plans db program =
         | Some r -> Relation.clear r
         | None -> ())
       (Ast.idb_preds program);
+    compact_columnar db;
     List.iter (eval_stratum ?plans db) strata;
     Ok ()
 

@@ -155,13 +155,13 @@ let match_against_relation slots atom rel rows =
           in
           match Hashtbl.find_opt index key with
           | None -> []
-          | Some tuples ->
-            List.filter_map
-              (fun tuple ->
+          | Some bucket ->
+            Tuple.Hashtbl.fold
+              (fun tuple _ acc ->
                 match unify slots binding args tuple with
-                | Some fresh -> Some (fresh, count)
-                | None -> None)
-              tuples)
+                | Some fresh -> (fresh, count) :: acc
+                | None -> acc)
+              bucket [])
         rows
     end
 

@@ -1,6 +1,7 @@
 module Value = Dd_relational.Value
 module Tuple = Dd_relational.Tuple
 module Relation = Dd_relational.Relation
+module Column_store = Dd_relational.Column_store
 module StringSet = Set.Make (String)
 
 (* --- relation views ------------------------------------------------------ *)
@@ -294,6 +295,83 @@ let rec length_at_least n l =
 
 type resolved = R_view of view | R_delta of (Tuple.t * int) list
 
+(* Repeated-fresh-variable check on an encoded row: dictionary ids are
+   per-column, but [dup] pairs only arise from one variable occurring twice,
+   and equal values have equal ids within a column — across columns two
+   occurrences of the same value may carry different ids, so decode. *)
+let dups_match_ids p cs ids =
+  let m = Array.length p.dup in
+  let rec go k =
+    k >= m
+    ||
+    let i, j = p.dup.(k) in
+    Value.equal (Column_store.dict_value cs i ids.(i)) (Column_store.dict_value cs j ids.(j))
+    && go (k + 1)
+  in
+  go 0
+
+(* Columnar match: probe the store's sorted runs on encoded keys, decode
+   only the slots this step binds.  [minus] (a Patched view's pending
+   retractions, keyed by decoded tuples) forces a decode per candidate only
+   while non-empty — the common steady state is an empty patch. *)
+let col_match out cur p cs minus =
+  if Column_store.arity cs = p.arity then begin
+    let minus =
+      match minus with
+      | Some m when Tuple.Hashtbl.length m > 0 -> Some m
+      | _ -> None
+    in
+    let admit_ids b c ids =
+      if
+        dups_match_ids p cs ids
+        && (match minus with
+           | None -> true
+           | Some m -> not (Tuple.Hashtbl.mem m (Column_store.decode cs ids)))
+      then begin
+        let fresh =
+          if Array.length p.binds = 0 then b
+          else begin
+            let fresh = Array.copy b in
+            Array.iter
+              (fun (i, s) -> fresh.(s) <- Column_store.dict_value cs i ids.(i))
+              p.binds;
+            fresh
+          end
+        in
+        frontier_push out fresh c
+      end
+    in
+    let nkeys = Array.length p.key_pos in
+    if nkeys > 0 then begin
+      let key_ids = Array.make nkeys 0 in
+      for i = 0 to cur.len - 1 do
+        let b = cur.bindings.(i) and c = cur.counts.(i) in
+        let ok = ref true in
+        for k = 0 to nkeys - 1 do
+          if !ok then
+            match Column_store.encode_value cs p.key_pos.(k) (src_value b p.key_src.(k)) with
+            | Some id -> key_ids.(k) <- id
+            | None -> ok := false
+        done;
+        if !ok then Column_store.iter_key cs p.key_pos key_ids (fun ids _ -> admit_ids b c ids)
+      done
+    end
+    else if cur.len = 1 then begin
+      let b = cur.bindings.(0) and c = cur.counts.(0) in
+      Column_store.iter_ids cs (fun ids _ -> admit_ids b c ids)
+    end
+    else begin
+      let rows = ref [] in
+      (* the yielded ids buffer is reused across rows: copy to retain *)
+      Column_store.iter_ids cs (fun ids _ -> rows := Array.copy ids :: !rows);
+      let rows = List.rev !rows in
+      for i = 0 to cur.len - 1 do
+        let b = cur.bindings.(i) and c = cur.counts.(i) in
+        List.iter (fun ids -> admit_ids b c ids) rows
+      done
+    end
+  end
+
 let step_match cur p source =
   let out = frontier_create () in
   let admit binding count tuple tcount ~check_keys =
@@ -304,49 +382,62 @@ let step_match cur p source =
     then frontier_push out (extend p binding tuple) (count * tcount)
   in
   (match source with
-  | R_view (Whole r) ->
-    if Array.length p.key_pos > 0 then begin
-      let idx = Relation.get_index r p.key_pos in
-      for i = 0 to cur.len - 1 do
-        let b = cur.bindings.(i) and c = cur.counts.(i) in
-        match Hashtbl.find_opt idx (probe_key p b) with
-        | None -> ()
-        | Some tuples -> List.iter (fun tup -> admit b c tup 1 ~check_keys:false) tuples
-      done
-    end
-    else begin
-      let tuples = Relation.to_list r in
-      for i = 0 to cur.len - 1 do
-        let b = cur.bindings.(i) and c = cur.counts.(i) in
-        List.iter (fun tup -> admit b c tup 1 ~check_keys:false) tuples
-      done
-    end
+  | R_view (Whole r) -> (
+    match Relation.columnar r with
+    | Some cs -> col_match out cur p cs None
+    | None ->
+      if Array.length p.key_pos > 0 then begin
+        let idx = Relation.get_index r p.key_pos in
+        for i = 0 to cur.len - 1 do
+          let b = cur.bindings.(i) and c = cur.counts.(i) in
+          match Hashtbl.find_opt idx (probe_key p b) with
+          | None -> ()
+          | Some bucket ->
+            Tuple.Hashtbl.iter (fun tup _ -> admit b c tup 1 ~check_keys:false) bucket
+        done
+      end
+      else begin
+        let tuples = Relation.to_list r in
+        for i = 0 to cur.len - 1 do
+          let b = cur.bindings.(i) and c = cur.counts.(i) in
+          List.iter (fun tup -> admit b c tup 1 ~check_keys:false) tuples
+        done
+      end)
   | R_view (Patched { base; minus; plus }) ->
     let plus_tuples = Tuple.Hashtbl.fold (fun tup () acc -> tup :: acc) plus [] in
-    if Array.length p.key_pos > 0 then begin
-      let idx = Relation.get_index base p.key_pos in
-      for i = 0 to cur.len - 1 do
-        let b = cur.bindings.(i) and c = cur.counts.(i) in
-        (match Hashtbl.find_opt idx (probe_key p b) with
-        | None -> ()
-        | Some tuples ->
-          List.iter
-            (fun tup ->
-              if not (Tuple.Hashtbl.mem minus tup) then admit b c tup 1 ~check_keys:false)
-            tuples);
-        List.iter (fun tup -> admit b c tup 1 ~check_keys:true) plus_tuples
-      done
-    end
-    else begin
-      let base_tuples =
-        List.filter (fun tup -> not (Tuple.Hashtbl.mem minus tup)) (Relation.to_list base)
-      in
-      for i = 0 to cur.len - 1 do
-        let b = cur.bindings.(i) and c = cur.counts.(i) in
-        List.iter (fun tup -> admit b c tup 1 ~check_keys:false) base_tuples;
-        List.iter (fun tup -> admit b c tup 1 ~check_keys:false) plus_tuples
-      done
-    end
+    (match Relation.columnar base with
+    | Some cs ->
+      col_match out cur p cs (Some minus);
+      if plus_tuples <> [] then
+        for i = 0 to cur.len - 1 do
+          let b = cur.bindings.(i) and c = cur.counts.(i) in
+          List.iter (fun tup -> admit b c tup 1 ~check_keys:true) plus_tuples
+        done
+    | None ->
+      if Array.length p.key_pos > 0 then begin
+        let idx = Relation.get_index base p.key_pos in
+        for i = 0 to cur.len - 1 do
+          let b = cur.bindings.(i) and c = cur.counts.(i) in
+          (match Hashtbl.find_opt idx (probe_key p b) with
+          | None -> ()
+          | Some bucket ->
+            Tuple.Hashtbl.iter
+              (fun tup _ ->
+                if not (Tuple.Hashtbl.mem minus tup) then admit b c tup 1 ~check_keys:false)
+              bucket);
+          List.iter (fun tup -> admit b c tup 1 ~check_keys:true) plus_tuples
+        done
+      end
+      else begin
+        let base_tuples =
+          List.filter (fun tup -> not (Tuple.Hashtbl.mem minus tup)) (Relation.to_list base)
+        in
+        for i = 0 to cur.len - 1 do
+          let b = cur.bindings.(i) and c = cur.counts.(i) in
+          List.iter (fun tup -> admit b c tup 1 ~check_keys:false) base_tuples;
+          List.iter (fun tup -> admit b c tup 1 ~check_keys:false) plus_tuples
+        done
+      end)
   | R_delta entries ->
     if Array.length p.key_pos > 0 && cur.len >= 8 && length_at_least 8 entries then begin
       (* One-shot index over the delta, amortized across a large frontier. *)
@@ -441,6 +532,13 @@ let collect_counted t cur =
 let run t ~lookup =
   if t.delta_pos >= 0 then invalid_arg "Plan.run: delta plan (use run_staged)";
   collect_counted t (exec t ~resolve:(fun _ pred -> lookup pred) ~delta:[])
+
+let run_iter t ~lookup ~f =
+  if t.delta_pos >= 0 then invalid_arg "Plan.run_iter: delta plan (use run_staged)";
+  let cur = exec t ~resolve:(fun _ pred -> lookup pred) ~delta:[] in
+  for i = 0 to cur.len - 1 do
+    f (head_tuple t cur.bindings.(i)) cur.counts.(i)
+  done
 
 let staged_resolve t ~before ~after pos pred =
   if pos < t.delta_pos then before pred else after pred

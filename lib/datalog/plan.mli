@@ -91,6 +91,15 @@ val run : t -> lookup:lookup -> (Tuple.t * int) list
     counted multiset) to {!Matcher.eval_rule}.  Raises [Invalid_argument]
     on a delta plan. *)
 
+val run_iter : t -> lookup:lookup -> f:(Tuple.t -> int -> unit) -> unit
+(** Execute a full plan, streaming [f tuple count] per surviving body
+    grounding {e without} aggregating counts or materializing the result
+    list — a head tuple derived [k] ways is yielded [k] times, with the
+    same total count as {!run}.  Callers accumulate (e.g. through
+    [Relation.insert_prev ~count]); at millions of groundings this skips
+    gigabytes of list and aggregation-table allocation.  Raises
+    [Invalid_argument] on a delta plan. *)
+
 val run_staged :
   t ->
   before:lookup ->

@@ -54,24 +54,43 @@ let natural_join a b =
     in
     (* Probe the persistent index (built once per (relation, key columns) and
        maintained by inserts/removes) instead of a throwaway one per join.
-       The count lookup and residual projection of each [b] tuple are
-       memoized per key, so repeated key hits pay them once. *)
-    let index = Relation.get_index b key_b in
+       Counted buckets carry each match's multiplicity, and the residual
+       projection of each [b] tuple is memoized per key, so repeated key
+       hits pay it once.  Columnar relations are probed on encoded keys
+       through the store's sorted runs; only residual columns decode. *)
+    let probe =
+      match Relation.columnar b with
+      | Some cs ->
+        fun key ->
+          (match Column_store.encode_key cs key_b key with
+          | None -> []
+          | Some key_ids ->
+            let ms = ref [] in
+            Column_store.iter_key cs key_b key_ids (fun ids n ->
+                let extra =
+                  Array.of_list
+                    (List.map (fun (i, _) -> Column_store.dict_value cs i ids.(i)) residual)
+                in
+                ms := (extra, n) :: !ms);
+            !ms)
+      | None ->
+        let index = Relation.get_index b key_b in
+        fun key ->
+          (match Hashtbl.find_opt index key with
+          | None -> []
+          | Some bucket ->
+            Tuple.Hashtbl.fold
+              (fun tb cb acc ->
+                let extra = Array.of_list (List.map (fun (i, _) -> tb.(i)) residual) in
+                (extra, cb) :: acc)
+              bucket [])
+    in
     let probe_cache : (Tuple.t, (Tuple.t * int) list) Hashtbl.t = Hashtbl.create 64 in
     let matches_for key =
       match Hashtbl.find_opt probe_cache key with
       | Some ms -> ms
       | None ->
-        let ms =
-          match Hashtbl.find_opt index key with
-          | None -> []
-          | Some tbs ->
-            List.map
-              (fun tb ->
-                let extra = Array.of_list (List.map (fun (i, _) -> tb.(i)) residual) in
-                (extra, Relation.count b tb))
-              tbs
-        in
+        let ms = probe key in
         Hashtbl.replace probe_cache key ms;
         ms
     in
@@ -102,18 +121,31 @@ let equi_join a b pairs =
       (Schema.concat sa sb_renamed)
   in
   (* Cached persistent index plus per-key memoized (tuple, count) matches,
-     as in [natural_join]. *)
-  let index = Relation.get_index b key_b in
+     as in [natural_join]; columnar [b] probes encoded keys instead. *)
+  let probe =
+    match Relation.columnar b with
+    | Some cs ->
+      fun key ->
+        (match Column_store.encode_key cs key_b key with
+        | None -> []
+        | Some key_ids ->
+          let ms = ref [] in
+          Column_store.iter_key cs key_b key_ids (fun ids n ->
+              ms := (Column_store.decode cs ids, n) :: !ms);
+          !ms)
+    | None ->
+      let index = Relation.get_index b key_b in
+      fun key ->
+        (match Hashtbl.find_opt index key with
+        | None -> []
+        | Some bucket -> Tuple.Hashtbl.fold (fun tb cb acc -> (tb, cb) :: acc) bucket [])
+  in
   let probe_cache : (Tuple.t, (Tuple.t * int) list) Hashtbl.t = Hashtbl.create 64 in
   let matches_for key =
     match Hashtbl.find_opt probe_cache key with
     | Some ms -> ms
     | None ->
-      let ms =
-        match Hashtbl.find_opt index key with
-        | None -> []
-        | Some tbs -> List.map (fun tb -> (tb, Relation.count b tb)) tbs
-      in
+      let ms = probe key in
       Hashtbl.replace probe_cache key ms;
       ms
   in

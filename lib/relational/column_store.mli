@@ -1,0 +1,142 @@
+(** Columnar, dictionary-encoded tuple storage (VLog-style).
+
+    A store holds one relation's bag of tuples in three planes:
+
+    - {b Dictionaries}: one per column, mapping each distinct [Value.t] to a
+      dense int id.  Dictionaries are append-only — an id, once assigned,
+      never changes and never points at a different value, even across
+      {!clear} — so int-id join plans stay valid across incremental deltas
+      and ids can be compared for equality without decoding.
+    - {b Sorted run}: the compacted bulk of the store, as flat per-column
+      [int array] vectors plus a multiplicity vector, with rows unique and
+      sorted id-lexicographically.  Probes over the run binary-search a
+      per-index-key sorted permutation.
+    - {b Delta tail}: a small mutable hashtable absorbing {!insert} /
+      {!remove} / {!restore_count} between compactions.  Each entry records
+      the tuple's run multiplicity ([base]) and the pending signed change
+      ([delta]); the live multiplicity is [base + delta].  When the tail
+      outgrows a fraction of the run it is merged into a fresh run
+      ({!compact}), amortizing mutations to O(log run) each.
+
+    Multiplicities, journal notification and iteration contracts mirror
+    {!Relation}; this module is the columnar backend behind it. *)
+
+type t
+
+val create : Schema.t -> t
+
+val schema : t -> Schema.t
+
+val arity : t -> int
+
+val cardinality : t -> int
+(** Number of distinct live tuples. O(1). *)
+
+val total_count : t -> int
+(** Sum of live multiplicities. O(1). *)
+
+val run_rows : t -> int
+(** Rows in the compacted sorted run (including rows a tail entry has
+    overridden). *)
+
+val tail_size : t -> int
+(** Live delta-tail entries. *)
+
+val mem : t -> Tuple.t -> bool
+
+val count : t -> Tuple.t -> int
+
+val insert : ?count:int -> ?notify:(int -> unit) -> t -> Tuple.t -> unit
+(** Add [count] (default 1) derivations.  [notify] is called with the
+    previous multiplicity immediately before the store changes (the journal
+    hook).  Interns any new column values. *)
+
+val insert_prev : ?count:int -> ?notify:(int -> unit) -> t -> Tuple.t -> int
+(** Like {!insert} but returns the tuple's previous multiplicity, saving
+    the membership probe callers would otherwise pay before inserting. *)
+
+val remove : ?count:int -> ?notify:(int -> unit) -> t -> Tuple.t -> int
+(** Subtract up to [count] derivations; returns how many were removed.
+    Dictionary ids stay interned even when the tuple disappears. *)
+
+val delete_all : ?notify:(int -> unit) -> t -> Tuple.t -> unit
+
+val restore_count : t -> Tuple.t -> int -> unit
+(** Force a tuple's multiplicity to exactly [n] ([n <= 0] removes it),
+    never notifying — the undo-log replay primitive. *)
+
+val clear : ?notify:(Tuple.t -> int -> unit) -> t -> unit
+(** Drop all tuples ([notify] sees each live tuple and its count first).
+    Dictionaries are retained: id stability survives a re-derivation
+    cycle (DRed's recursive-stratum recompute clears and refills). *)
+
+val iter : (Tuple.t -> int -> unit) -> t -> unit
+(** Live tuples with multiplicities: run rows in sorted order (minus
+    tail-overridden ones), then tail entries in sorted id order —
+    deterministic for a given store state. *)
+
+val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val copy : t -> t
+
+val compact : t -> unit
+(** Merge the delta tail into the sorted run now.  Also triggered
+    automatically when the tail outgrows its threshold. *)
+
+(** {2 Int-id plane}
+
+    Probes work entirely on ids; values are decoded only where a consumer
+    (a plan's bind step, a join's output) actually materializes them. *)
+
+val encode_tuple : t -> Tuple.t -> int array option
+(** Ids for an existing tuple's values; [None] if any value was never
+    interned (the tuple cannot be live) or the arity mismatches. *)
+
+val encode_value : t -> int -> Value.t -> int option
+(** Id of a value in column [col]'s dictionary, if interned. *)
+
+val encode_key : t -> int array -> Value.t array -> int array option
+(** [encode_key t key_cols vals] encodes [vals.(k)] in column
+    [key_cols.(k)]'s dictionary; [None] if any value is unknown. *)
+
+val dict_value : t -> int -> int -> Value.t
+(** [dict_value t col id] decodes an id. Raises [Invalid_argument] on an
+    out-of-range id. *)
+
+val dict_size : t -> int -> int
+
+val decode : t -> int array -> Tuple.t
+
+val iter_ids : t -> (int array -> int -> unit) -> unit
+(** Like {!iter} but yields encoded rows with live multiplicities.  The ids
+    array passed to the callback is a buffer the store reuses (or owns): it
+    is valid only for the duration of the callback and must not be mutated
+    or retained — [Array.copy] it to keep it. *)
+
+val iter_key : t -> int array -> int array -> (int array -> int -> unit) -> unit
+(** [iter_key t key_cols key_ids f] yields every live encoded row whose
+    projection on [key_cols] equals [key_ids]: a binary-searched range of
+    the per-key sorted permutation over the run, then the key's delta-tail
+    bucket.  Registers (and lazily refreshes) the index for [key_cols] on
+    first use.  The store must not be mutated during iteration, and the
+    ids arrays obey the same no-retention rule as {!iter_ids}. *)
+
+(** {2 Audit and serialization} *)
+
+val audit : t -> (unit, string) result
+(** Deep structural audit: dictionary bijectivity, run sortedness and
+    count positivity, tail/base consistency, cardinality and total-count
+    accounting. *)
+
+val to_bytes : t -> string
+(** Canonical CRC-32-gated binary image of dictionaries, run and tail.
+    Two stores with identical logical state and identical physical layout
+    encode to identical bytes; {!of_bytes} followed by {!to_bytes} is the
+    identity on the image. *)
+
+val of_bytes : Schema.t -> string -> (t, string) result
+(** Decode {!to_bytes} output against the owning relation's schema,
+    verifying the CRC, re-running {!audit}, and rebuilding lookup
+    structures. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,11 +1,16 @@
-type t = { tables : (string, Relation.t) Hashtbl.t }
+type t = {
+  tables : (string, Relation.t) Hashtbl.t;
+  mutable backend : Relation.backend;
+}
 
-let create () = { tables = Hashtbl.create 16 }
+let create ?(backend = Relation.Row) () = { tables = Hashtbl.create 16; backend }
+
+let backend t = t.backend
 
 let create_table t name schema =
   if Hashtbl.mem t.tables name then
     invalid_arg ("Database.create_table: table exists: " ^ name);
-  let r = Relation.create ~name schema in
+  let r = Relation.create ~backend:t.backend ~name schema in
   Hashtbl.replace t.tables name r;
   r
 
@@ -26,8 +31,17 @@ let insert_rows t name rows =
   let r = find t name in
   List.iter (fun row -> Relation.insert r row) rows
 
+let convert_all t backend =
+  t.backend <- backend;
+  List.iter
+    (fun name ->
+      let r = find t name in
+      if Relation.backend r <> backend then
+        Hashtbl.replace t.tables name (Relation.convert backend r))
+    (table_names t)
+
 let copy t =
-  let fresh = create () in
+  let fresh = create ~backend:t.backend () in
   Hashtbl.iter (fun name r -> Hashtbl.replace fresh.tables name (Relation.copy r)) t.tables;
   fresh
 

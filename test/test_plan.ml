@@ -31,8 +31,8 @@ let preds = [ ("e1", 1); ("e2", 2); ("f2", 2); ("g3", 3) ]
 
 let arity_of pred = List.assoc pred preds
 
-let make_db contents =
-  let db = Database.create () in
+let make_db ?backend contents =
+  let db = Database.create ?backend () in
   List.iter
     (fun (pred, arity) -> ignore (Database.create_table db pred (schema_of_arity arity)))
     preds;
@@ -287,20 +287,119 @@ let check_staged_equivalence (rule, before_contents, after_contents, delta_pos, 
   sorted_counted legacy = sorted_counted planned
   && sorted_counted_envs rule envs_legacy = sorted_counted_envs rule envs_planned
 
+(* --- qcheck: columnar backend equivalence ------------------------------------- *)
+
+module Column_store = Dd_relational.Column_store
+
+(* Same plan, two storage backends: results must agree tuple-for-tuple and
+   count-for-count. *)
+let check_backend_full_equivalence (rule, contents) =
+  let row_db = make_db contents in
+  let col_db = make_db ~backend:Relation.Columnar contents in
+  let run db =
+    let lookup = Engine.lookup_in db in
+    ( sorted_counted (Plan.run (Plan.compile rule) ~lookup:(Plan.view_of_lookup lookup)),
+      sorted_envs rule
+        (Plan.run_bindings (Plan.compile rule) ~lookup:(Plan.view_of_lookup lookup)) )
+  in
+  run row_db = run col_db
+
+let check_backend_staged_equivalence (rule, before_contents, after_contents, delta_pos, delta)
+    =
+  let run backend =
+    let before_db = make_db ?backend before_contents
+    and after_db = make_db ?backend after_contents in
+    let before = Engine.lookup_in before_db and after = Engine.lookup_in after_db in
+    let plan = Plan.compile_delta rule ~delta_pos in
+    ( sorted_counted
+        (Plan.run_staged plan ~before:(Plan.view_of_lookup before)
+           ~after:(Plan.view_of_lookup after) ~delta),
+      sorted_counted_envs rule
+        (Plan.run_bindings_staged plan ~before:(Plan.view_of_lookup before)
+           ~after:(Plan.view_of_lookup after) ~delta) )
+  in
+  run None = run (Some Relation.Columnar)
+
+(* Random mutation programs applied to both backends: contents must stay
+   identical through inserts, counted removals, restore_count, delete_all,
+   and an explicit compaction, and both stores must self-validate. *)
+let ops_gen =
+  let open QCheck.Gen in
+  let tuple = map (fun (a, b) -> [| i a; i b |]) (pair (0 -- 5) (0 -- 5)) in
+  let op =
+    let* t = tuple in
+    frequency
+      [
+        (4, map (fun c -> `Insert (t, c)) (1 -- 3));
+        (3, map (fun c -> `Remove (t, c)) (1 -- 3));
+        (1, map (fun c -> `Restore (t, c)) (0 -- 3));
+        (1, return (`Delete_all t));
+      ]
+  in
+  list_size (0 -- 80) op
+
+let print_ops ops =
+  String.concat "; "
+    (List.map
+       (function
+         | `Insert (t, c) -> Printf.sprintf "ins %s*%d" (Tuple.to_string t) c
+         | `Remove (t, c) -> Printf.sprintf "rem %s*%d" (Tuple.to_string t) c
+         | `Restore (t, c) -> Printf.sprintf "res %s=%d" (Tuple.to_string t) c
+         | `Delete_all t -> Printf.sprintf "del %s" (Tuple.to_string t))
+       ops)
+
+let ops_arb = QCheck.make ~print:print_ops ops_gen
+
+let check_ops_equivalence ops =
+  let schema = schema_of_arity 2 in
+  let row = Relation.create ~name:"r" schema in
+  let col = Relation.create ~backend:Relation.Columnar ~name:"r" schema in
+  let apply r = function
+    | `Insert (t, c) -> Relation.insert ~count:c r t
+    | `Remove (t, c) -> ignore (Relation.remove ~count:c r t)
+    | `Restore (t, c) -> Relation.restore_count r t c
+    | `Delete_all t -> Relation.delete_all r t
+  in
+  List.iter (fun op -> apply row op; apply col op) ops;
+  let cs = Option.get (Relation.columnar col) in
+  Relation.equal_contents row col
+  && Relation.total_count row = Relation.total_count col
+  && Result.is_ok (Relation.validate col)
+  && begin
+       Column_store.compact cs;
+       Relation.equal_contents row col && Result.is_ok (Relation.validate col)
+     end
+  && begin
+       (* Canonical byte round-trip mid-stream: decoded store equals the
+          original and serializes to the same bytes. *)
+       let bytes = Column_store.to_bytes cs in
+       match Column_store.of_bytes schema bytes with
+       | Error e -> Alcotest.failf "of_bytes: %s" e
+       | Ok cs' ->
+         String.equal bytes (Column_store.to_bytes cs')
+         && Column_store.cardinality cs' = Relation.cardinality row
+     end
+
 let qcheck_tests =
   [
     QCheck.Test.make ~name:"planned run equals matcher (random rules/dbs)" ~count:300
       full_equiv_arb check_full_equivalence;
     QCheck.Test.make ~name:"planned staged run equals matcher (random deltas)" ~count:300
       staged_arb check_staged_equivalence;
+    QCheck.Test.make ~name:"columnar backend equals row (full plans)" ~count:300
+      full_equiv_arb check_backend_full_equivalence;
+    QCheck.Test.make ~name:"columnar backend equals row (staged plans)" ~count:300
+      staged_arb check_backend_staged_equivalence;
+    QCheck.Test.make ~name:"columnar backend equals row (random mutations)" ~count:300
+      ops_arb check_ops_equivalence;
   ]
 
 (* --- dred through compiled delta plans ---------------------------------------- *)
 
 let edge_schema = Schema.make [ ("src", Value.TInt); ("dst", Value.TInt) ]
 
-let db_with_edges edges =
-  let db = Database.create () in
+let db_with_edges ?backend edges =
+  let db = Database.create ?backend () in
   let r = Database.create_table db "edge" edge_schema in
   List.iter (fun (a, b) -> Relation.insert r [| i a; i b |]) edges;
   db
@@ -396,6 +495,131 @@ let test_engine_planned_negation_guard () =
   Alcotest.(check int) "one sink pair" 1 (Relation.cardinality sink);
   Alcotest.(check bool) "2->3" true (Relation.mem sink [| i 2; i 3 |])
 
+(* --- columnar end-to-end: dred + grounding bit-identity ----------------------- *)
+
+module Program = Dd_core.Program
+module Grounding = Dd_core.Grounding
+module Core_engine = Dd_core.Engine
+module Semantics = Dd_fgraph.Semantics
+module Serialize = Dd_fgraph.Serialize
+
+let s = Value.str
+
+let test_dred_planned_columnar_backend () =
+  (* The full DRed loop — counting deletes, Patched old-views, recursive
+     recompute-and-diff — over columnar tables, checked against from-scratch
+     row evaluation (dred_planned_equivalence's scratch db is row-backed). *)
+  let plans = Plan.Cache.create () in
+  let db = db_with_edges ~backend:Relation.Columnar [ (1, 2); (2, 3); (3, 1); (3, 4) ] in
+  (match Engine.run ~plans db tc_program with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  dred_planned_equivalence ~plans ~program:tc_program ~db ~inserts:[ (4, 5) ]
+    ~deletes:[ (2, 3) ];
+  dred_planned_equivalence ~plans ~program:tc_program ~db ~inserts:[] ~deletes:[ (3, 1) ]
+
+(* A miniature KBC program (classifier + correlation + supervision), used to
+   check that grounding is bit-identical across storage backends. *)
+let kbc_item_schema = Schema.make [ ("item", Value.TStr); ("feature", Value.TStr) ]
+let kbc_link_schema = Schema.make [ ("a", Value.TStr); ("b", Value.TStr) ]
+let kbc_label_schema = Schema.make [ ("item", Value.TStr); ("lbl", Value.TBool) ]
+let kbc_query_schema = Schema.make [ ("item", Value.TStr) ]
+
+let kbc_program =
+  {
+    Program.input_schemas =
+      [
+        ("item_feature", kbc_item_schema);
+        ("link", kbc_link_schema);
+        ("label_src", kbc_label_schema);
+      ];
+    query_relations = [ ("is_pos", kbc_query_schema) ];
+    rules =
+      [
+        Program.Infer
+          {
+            Program.name = "classify";
+            head = atom "is_pos" [ v "x" ];
+            body = [ Ast.Pos (atom "item_feature" [ v "x"; v "f" ]) ];
+            guards = [];
+            weight = Program.Tied [ v "f" ];
+            semantics = Semantics.Linear;
+            populate_head = true;
+          };
+        Program.Infer
+          {
+            Program.name = "linked";
+            head = atom "is_pos" [ v "x" ];
+            body =
+              [ Ast.Pos (atom "is_pos" [ v "y" ]); Ast.Pos (atom "link" [ v "x"; v "y" ]) ];
+            guards = [];
+            weight = Program.Fixed 0.8;
+            semantics = Semantics.Logical;
+            populate_head = false;
+          };
+        Program.Supervise
+          ( "labels",
+            Ast.rule
+              (atom "is_pos_ev" [ v "x"; v "l" ])
+              [ Ast.Pos (atom "label_src" [ v "x"; v "l" ]) ] );
+      ];
+  }
+
+let kbc_db backend =
+  let db = Database.create ~backend () in
+  ignore (Database.create_table db "item_feature" kbc_item_schema);
+  ignore (Database.create_table db "link" kbc_link_schema);
+  ignore (Database.create_table db "label_src" kbc_label_schema);
+  Database.insert_rows db "item_feature"
+    [ [| s "a"; s "f1" |]; [| s "b"; s "f1" |]; [| s "c"; s "f2" |]; [| s "d"; s "f2" |] ];
+  Database.insert_rows db "link" [ [| s "b"; s "a" |]; [| s "c"; s "d" |] ];
+  Database.insert_rows db "label_src"
+    [ [| s "a"; Value.Bool true |]; [| s "d"; Value.Bool false |] ];
+  db
+
+let kbc_delta () =
+  let d = Dred.Delta.create () in
+  Dred.Delta.insert d "item_feature" [| s "e"; s "f1" |];
+  Dred.Delta.insert d "link" [| s "e"; s "a" |];
+  Dred.Delta.delete d "item_feature" [| s "b"; s "f1" |];
+  d
+
+let test_grounding_bit_identical_across_backends () =
+  let ground backend = Grounding.ground (kbc_db backend) kbc_program in
+  let row = ground Relation.Row and col = ground Relation.Columnar in
+  Alcotest.(check string) "initial graphs bit-identical"
+    (Serialize.to_string (Grounding.graph row))
+    (Serialize.to_string (Grounding.graph col));
+  ignore (Grounding.extend row (Grounding.data_update (kbc_delta ())));
+  ignore (Grounding.extend col (Grounding.data_update (kbc_delta ())));
+  Alcotest.(check string) "extended graphs bit-identical"
+    (Serialize.to_string (Grounding.graph row))
+    (Serialize.to_string (Grounding.graph col))
+
+let test_engine_identical_across_backends () =
+  (* Whole pipeline: create (ground + learn + materialize), one incremental
+     update, then compare graph bytes and every marginal exactly. *)
+  let run backend =
+    let db = kbc_db backend in
+    let options =
+      {
+        Core_engine.default_options with
+        Core_engine.materialization_samples = 60;
+        inference_chain = 30;
+        initial_learning_epochs = 5;
+        incremental_learning_epochs = 2;
+        relation_backend = backend;
+      }
+    in
+    let engine = Core_engine.create ~options db kbc_program in
+    ignore (Core_engine.apply_update engine (Grounding.data_update (kbc_delta ())));
+    (Serialize.to_string (Core_engine.graph engine), Core_engine.marginals_by_relation engine)
+  in
+  let g_row, m_row = run Relation.Row in
+  let g_col, m_col = run Relation.Columnar in
+  Alcotest.(check string) "graphs bit-identical" g_row g_col;
+  Alcotest.(check bool) "marginals identical" true (m_row = m_col)
+
 let () =
   Alcotest.run "dd_datalog_plan"
     [
@@ -418,6 +642,15 @@ let () =
             test_dred_planned_insert_delete_rederive;
           Alcotest.test_case "recursive rederive" `Quick test_dred_planned_recursive_rederive;
           Alcotest.test_case "engine negation+guard" `Quick test_engine_planned_negation_guard;
+        ] );
+      ( "columnar",
+        [
+          Alcotest.test_case "dred over columnar tables" `Quick
+            test_dred_planned_columnar_backend;
+          Alcotest.test_case "grounding bit-identical" `Quick
+            test_grounding_bit_identical_across_backends;
+          Alcotest.test_case "engine graph+marginals identical" `Quick
+            test_engine_identical_across_backends;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

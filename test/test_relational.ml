@@ -152,26 +152,54 @@ let test_relation_filter () =
   let only_x = Relation.filter (fun t -> Value.equal t.(1) (s "x")) r in
   Alcotest.(check int) "filtered" 2 (Relation.cardinality only_x)
 
+let bucket_size index key =
+  match Hashtbl.find_opt index key with
+  | None -> 0
+  | Some bucket -> Tuple.Hashtbl.length bucket
+
 let test_relation_build_index () =
   let r = make_rel [ [| i 1; s "x" |]; [| i 2; s "x" |]; [| i 3; s "y" |] ] in
   let index = Relation.build_index r [| 1 |] in
-  Alcotest.(check int) "x bucket" 2 (List.length (Hashtbl.find index [| s "x" |]));
-  Alcotest.(check int) "y bucket" 1 (List.length (Hashtbl.find index [| s "y" |]))
+  Alcotest.(check int) "x bucket" 2 (bucket_size index [| s "x" |]);
+  Alcotest.(check int) "y bucket" 1 (bucket_size index [| s "y" |])
 
 let test_relation_get_index_maintained () =
   (* The cached index must track subsequent inserts and removes. *)
   let r = make_rel [ [| i 1; s "x" |] ] in
   let index = Relation.get_index r [| 1 |] in
-  Alcotest.(check int) "initial" 1 (List.length (Hashtbl.find index [| s "x" |]));
+  Alcotest.(check int) "initial" 1 (bucket_size index [| s "x" |]);
   Relation.insert r [| i 2; s "x" |];
-  Alcotest.(check int) "after insert" 2 (List.length (Hashtbl.find index [| s "x" |]));
+  Alcotest.(check int) "after insert" 2 (bucket_size index [| s "x" |]);
   ignore (Relation.remove r [| i 1; s "x" |]);
-  Alcotest.(check int) "after remove" 1 (List.length (Hashtbl.find index [| s "x" |]));
-  (* Count-only changes must not duplicate index entries. *)
+  Alcotest.(check int) "after remove" 1 (bucket_size index [| s "x" |]);
+  (* Count-only changes must not duplicate index entries, and the counted
+     bucket must track the live multiplicity. *)
   Relation.insert ~count:5 r [| i 2; s "x" |];
-  Alcotest.(check int) "count change" 1 (List.length (Hashtbl.find index [| s "x" |]));
+  Alcotest.(check int) "count change" 1 (bucket_size index [| s "x" |]);
+  Alcotest.(check int) "bucket multiplicity" 6
+    (Tuple.Hashtbl.find (Hashtbl.find index [| s "x" |]) [| i 2; s "x" |]);
   (* The same columns yield the same cached table. *)
   Alcotest.(check bool) "cached" true (Relation.get_index r [| 1 |] == index)
+
+let test_relation_index_skewed_key_removal () =
+  (* Regression for the old list-bucket index: removing [n] tuples that all
+     share one key was O(bucket) per removal (O(n^2) total) because each
+     remove rebuilt the bucket with [List.filter].  Counted hashtable
+     buckets make each removal O(1); at this size the quadratic version
+     takes minutes, so mere completion is the assertion — plus bucket
+     integrity along the way. *)
+  let n = 20_000 in
+  let r = Relation.create ~name:"skew" ab_schema in
+  let index = Relation.get_index r [| 1 |] in
+  for k = 1 to n do
+    Relation.insert r [| i k; s "hot" |]
+  done;
+  Alcotest.(check int) "bucket full" n (bucket_size index [| s "hot" |]);
+  for k = 1 to n do
+    ignore (Relation.remove r [| i k; s "hot" |])
+  done;
+  Alcotest.(check int) "bucket drained" 0 (bucket_size index [| s "hot" |]);
+  Alcotest.(check int) "empty" 0 (Relation.cardinality r)
 
 let test_relation_copy_rebuilds_index () =
   (* [Relation.copy] drops cached indexes: the copy's first [get_index] must
@@ -182,19 +210,19 @@ let test_relation_copy_rebuilds_index () =
   let c = Relation.copy r in
   let copy_index = Relation.get_index c [| 1 |] in
   Alcotest.(check bool) "distinct tables" true (copy_index != orig_index);
-  Alcotest.(check int) "rebuilt x bucket" 2 (List.length (Hashtbl.find copy_index [| s "x" |]));
-  Alcotest.(check int) "rebuilt y bucket" 1 (List.length (Hashtbl.find copy_index [| s "y" |]));
+  Alcotest.(check int) "rebuilt x bucket" 2 (bucket_size copy_index [| s "x" |]);
+  Alcotest.(check int) "rebuilt y bucket" 1 (bucket_size copy_index [| s "y" |]);
   (* Mutating the copy maintains the copy's index and leaves the original's
      untouched. *)
   Relation.insert c [| i 4; s "y" |];
   ignore (Relation.remove c [| i 1; s "x" |]);
-  Alcotest.(check int) "copy y grew" 2 (List.length (Hashtbl.find copy_index [| s "y" |]));
-  Alcotest.(check int) "copy x shrank" 1 (List.length (Hashtbl.find copy_index [| s "x" |]));
-  Alcotest.(check int) "original y" 1 (List.length (Hashtbl.find orig_index [| s "y" |]));
-  Alcotest.(check int) "original x" 2 (List.length (Hashtbl.find orig_index [| s "x" |]));
+  Alcotest.(check int) "copy y grew" 2 (bucket_size copy_index [| s "y" |]);
+  Alcotest.(check int) "copy x shrank" 1 (bucket_size copy_index [| s "x" |]);
+  Alcotest.(check int) "original y" 1 (bucket_size orig_index [| s "y" |]);
+  Alcotest.(check int) "original x" 2 (bucket_size orig_index [| s "x" |]);
   (* And vice versa: mutating the original does not leak into the copy. *)
   Relation.insert r [| i 5; s "x" |];
-  Alcotest.(check int) "copy x unaffected" 1 (List.length (Hashtbl.find copy_index [| s "x" |]))
+  Alcotest.(check int) "copy x unaffected" 1 (bucket_size copy_index [| s "x" |])
 
 let test_relation_get_index_cleared () =
   let r = make_rel [ [| i 1; s "x" |] ] in
@@ -427,6 +455,7 @@ let () =
           Alcotest.test_case "filter" `Quick test_relation_filter;
           Alcotest.test_case "build_index" `Quick test_relation_build_index;
           Alcotest.test_case "get_index maintained" `Quick test_relation_get_index_maintained;
+          Alcotest.test_case "skewed-key removal" `Quick test_relation_index_skewed_key_removal;
           Alcotest.test_case "copy rebuilds index" `Quick test_relation_copy_rebuilds_index;
           Alcotest.test_case "get_index after clear" `Quick test_relation_get_index_cleared;
         ] );

@@ -236,6 +236,32 @@ let test_ladder_retry_sweep () =
       Fault.reset ())
     points
 
+let test_ladder_retry_sweep_columnar () =
+  (* The same sweep with the engine's database on the columnar backend:
+     rollback (journal undo replay into Column_store) must restore the
+     engine so exactly that the retried run's marginals equal the ROW
+     baseline's — cross-backend bit-identity under faults. *)
+  let baseline, points = exercised_points () in
+  let columnar_options =
+    { quick_options with Engine.relation_backend = Dd_relational.Relation.Columnar }
+  in
+  List.iter
+    (fun point ->
+      Fault.reset ();
+      let _, engine = make_engine ~options:columnar_options () in
+      Fault.reset ();
+      Fault.arm point (Fault.Nth 1);
+      let txn = Txn.create engine in
+      let outcome = apply_ok txn (Pipeline.update_of Pipeline.FE1) in
+      note_covered ();
+      Alcotest.(check int) (point ^ " fired once") 1 (Fault.fired point);
+      Alcotest.(check bool) (point ^ " recovered on first retry") true
+        (outcome.Txn.rung = Txn.Retry 1);
+      Alcotest.(check bool) (point ^ " marginals = row uninterrupted run") true
+        (baseline.Txn.report.Engine.marginals = outcome.Txn.report.Engine.marginals);
+      Fault.reset ())
+    points
+
 let test_ladder_interrupted_rollback () =
   let baseline, _ = exercised_points () in
   List.iter
@@ -530,6 +556,8 @@ let () =
       ( "ladder",
         [
           Alcotest.test_case "retry sweep over fault points" `Slow test_ladder_retry_sweep;
+          Alcotest.test_case "retry sweep, columnar backend" `Slow
+            test_ladder_retry_sweep_columnar;
           Alcotest.test_case "interrupted rollback" `Quick test_ladder_interrupted_rollback;
           Alcotest.test_case "quarantine after full ladder" `Quick test_ladder_quarantine;
           Alcotest.test_case "malformed never retries" `Quick test_malformed_never_retries;
