@@ -38,6 +38,8 @@ module _ = Grounding_bench
 module _ = Columnar
 module _ = Ingestion
 module _ = Async_gibbs
+module _ = Scrub_bench
+module _ = Soak_bench
 
 type cli = { full : bool; list : bool; json : string option; names : string list }
 

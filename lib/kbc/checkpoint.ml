@@ -2,25 +2,36 @@
 
    The durable layout inside a store directory is:
 
-     MANIFEST            names the latest valid checkpoint + its WAL
+     MANIFEST            names the latest published checkpoint + its WAL
      ckpt-<n>.ddckpt     engine state after the first n updates
      wal-<n>.log         updates n+1, n+2, ... (one entry each)
+     *.quarantined       damaged files set aside by recovery/scrub
 
    A checkpoint file embeds the factor graph in the auditable ddgraph v2
    text format (with its own CRC-32 footer) followed by a CRC-checked
-   binary snapshot of the full engine state.  Every publish is atomic
-   (temp file + rename) and ordered so that a crash at any instant leaves
-   the previous MANIFEST consistent: first the fresh (empty) WAL, then the
-   checkpoint file, then the MANIFEST switch.
+   binary snapshot of the full engine state.  Every publish is atomic and
+   durable (temp file + data fsync + rename + directory fsync, all via
+   {!Dd_util.Fault_file}) and ordered so that a crash at any instant
+   leaves the previous checkpoint consistent: first the fresh (empty)
+   WAL, then the checkpoint file, then the MANIFEST switch.
+
+   The store retains the newest [keep_versions] checkpoint/WAL pairs.
+   Because wal-<m> holds exactly the updates between checkpoint m and the
+   next publish, recovery that has to fall back past a damaged newest
+   version can chain-replay forward: load ckpt-<m>, replay wal-<m> to
+   reach the next publish point, and keep following WALs by sequence
+   until the chain runs out.
 
    The write-ahead log makes individual updates durable before they
    mutate the engine: [apply_update] appends the update's payload
-   (flushed) and only then runs the in-memory update.  Recovery therefore
-   is: load the latest checkpoint, validate it, replay the WAL through
-   the ordinary [Engine.apply_update] path — deterministic, since the
-   snapshot includes the engine's PRNG state — and publish a fresh
-   checkpoint.  A torn entry at the WAL tail (the classic mid-append
-   crash) fails its CRC or length check and marks the end of the log. *)
+   (flushed + fsynced) and only then runs the in-memory update.  Recovery
+   therefore is: load the newest checkpoint that passes every checksum —
+   quarantining any version that doesn't ([.quarantined] suffix, never
+   deleted) — replay the WAL chain through the ordinary
+   [Engine.apply_update] path (deterministic, since the snapshot includes
+   the engine's PRNG state), and publish a fresh checkpoint.  A torn
+   entry at the WAL tail (the classic mid-append crash) fails its CRC or
+   length check and marks the end of the log. *)
 
 module Engine = Dd_core.Engine
 module Grounding = Dd_core.Grounding
@@ -30,9 +41,10 @@ module Serialize = Dd_fgraph.Serialize
 module Database = Dd_relational.Database
 module Crc32 = Dd_util.Crc32
 module Fault = Dd_util.Fault
+module Fault_file = Dd_util.Fault_file
 
 type error =
-  | No_checkpoint  (** the store has no published manifest *)
+  | No_checkpoint  (** the store has no checkpoint at all *)
   | Corrupt of string  (** bad magic, failed checksum, torn structure *)
   | Invalid_state of string  (** checksums fine, semantic validation failed *)
 
@@ -43,37 +55,74 @@ let error_to_string = function
 
 type t = {
   dir : string;
+  keep : int;  (* checkpoint versions retained by gc *)
+  fsync : bool;  (* fsync data + directories on every publish *)
   mutable seq : int;  (* updates logged since the engine was created *)
   mutable wal : out_channel option;
+  mutable wal_file : string option;  (* path behind [wal], for fsync tracking *)
 }
 
 let manifest_path store = Filename.concat store.dir "MANIFEST"
 
-let ckpt_path store seq = Filename.concat store.dir (Printf.sprintf "ckpt-%d.ddckpt" seq)
+let ckpt_name seq = Printf.sprintf "ckpt-%d.ddckpt" seq
 
-let wal_path store seq = Filename.concat store.dir (Printf.sprintf "wal-%d.log" seq)
+let wal_name seq = Printf.sprintf "wal-%d.log" seq
 
-let open_store dir =
+let ckpt_path store seq = Filename.concat store.dir (ckpt_name seq)
+
+let wal_path store seq = Filename.concat store.dir (wal_name seq)
+
+let open_store ?(keep_versions = 2) ?(fsync = true) dir =
+  if keep_versions < 1 then invalid_arg "Checkpoint.open_store: keep_versions < 1";
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   if not (Sys.is_directory dir) then
     invalid_arg ("Checkpoint.open_store: not a directory: " ^ dir);
-  { dir; seq = 0; wal = None }
+  { dir; keep = keep_versions; fsync; seq = 0; wal = None; wal_file = None }
 
 let abandon store =
   (match store.wal with Some ch -> close_out_noerr ch | None -> ());
-  store.wal <- None
+  store.wal <- None;
+  store.wal_file <- None
+let applied store = store.seq
 
-(* Atomic small-file publish. *)
-let write_file_atomic path content =
-  let tmp = path ^ ".tmp" in
-  let out = open_out_bin tmp in
-  (match output_string out content with
-  | () -> close_out out
-  | exception e ->
-    close_out_noerr out;
-    (try Sys.remove tmp with Sys_error _ -> ());
-    raise e);
-  Sys.rename tmp path
+
+let set_applied store n =
+  if n < store.seq then invalid_arg "Checkpoint.set_applied: sequence moved backwards";
+  store.seq <- n
+
+(* Version names are structural: "ckpt-<n>.ddckpt" (and nothing else). *)
+let version_of_name name =
+  match Filename.chop_suffix_opt ~suffix:".ddckpt" name with
+  | None -> None
+  | Some stem ->
+    if String.length stem > 5 && String.sub stem 0 5 = "ckpt-" then
+      match int_of_string_opt (String.sub stem 5 (String.length stem - 5)) with
+      | Some n when n >= 0 && name = ckpt_name n -> Some n
+      | _ -> None
+    else None
+
+let versions store =
+  Array.fold_left
+    (fun acc name -> match version_of_name name with Some n -> n :: acc | None -> acc)
+    []
+    (try Sys.readdir store.dir with Sys_error _ -> [||])
+  |> List.sort (fun a b -> compare b a)
+
+let quarantine_path path =
+  if Sys.file_exists path then
+    try Sys.rename path (path ^ ".quarantined") with Sys_error _ -> ()
+
+let quarantine_version store seq =
+  quarantine_path (ckpt_path store seq);
+  quarantine_path (wal_path store seq)
+
+let quarantined_files store =
+  Array.fold_left
+    (fun acc name ->
+      if Filename.check_suffix name ".quarantined" then name :: acc else acc)
+    []
+    (try Sys.readdir store.dir with Sys_error _ -> [||])
+  |> List.sort String.compare
 
 (* --- checkpoint save ------------------------------------------------------- *)
 
@@ -96,16 +145,33 @@ let publish_manifest store ~ckpt ~wal =
   let content =
     Printf.sprintf "ddmanifest 1\ncheckpoint %s\nwal %s\nend\n" ckpt wal
   in
-  write_file_atomic (manifest_path store) content
+  Fault_file.write_atomic ~fsync:store.fsync (manifest_path store) content
 
-let gc_stale_files store ~keep_ckpt ~keep_wal =
+(* Retire everything outside the newest [store.keep] versions.  Quarantined
+   files are never collected (they are the scrub/forensics record), stray
+   .tmp files from crashed publishes are. *)
+let gc_stale_files store =
+  let kept = ref 0 in
+  let keep_seqs =
+    List.filter (fun _ -> incr kept; !kept <= store.keep) (versions store)
+  in
   Array.iter
     (fun name ->
-      let stale_ckpt = Filename.check_suffix name ".ddckpt" && name <> keep_ckpt in
-      let stale_wal =
-        String.length name >= 4 && String.sub name 0 4 = "wal-" && name <> keep_wal
+      let stale =
+        match version_of_name name with
+        | Some n -> not (List.mem n keep_seqs)
+        | None ->
+          if Filename.check_suffix name ".tmp" then true
+          else if String.length name >= 4 && String.sub name 0 4 = "wal-" then
+            match Filename.chop_suffix_opt ~suffix:".log" name with
+            | Some stem -> (
+              match int_of_string_opt (String.sub stem 4 (String.length stem - 4)) with
+              | Some n -> not (List.mem n keep_seqs)
+              | None -> false)
+            | None -> false
+          else false
       in
-      if stale_ckpt || stale_wal then
+      if stale then
         try Sys.remove (Filename.concat store.dir name) with Sys_error _ -> ())
     (try Sys.readdir store.dir with Sys_error _ -> [||])
 
@@ -113,44 +179,89 @@ let save store engine =
   let seq = store.seq in
   (* 1. Fresh empty WAL for the updates that will follow this checkpoint.
      Not yet referenced by the manifest, so a crash here is invisible. *)
-  let wal_name = Printf.sprintf "wal-%d.log" seq in
-  write_file_atomic (wal_path store seq) (Printf.sprintf "ddwal 1 %d\n" seq);
-  (* 2. The checkpoint file itself. *)
-  let ckpt_name = Printf.sprintf "ckpt-%d.ddckpt" seq in
+  Fault_file.write_atomic ~fsync:store.fsync (wal_path store seq)
+    (Printf.sprintf "ddwal 1 %d\n" seq);
+  (* 2. The checkpoint file itself: data fsync before the rename, directory
+     fsync after, so a crash cannot leave a renamed-but-empty file. *)
   let tmp = ckpt_path store seq ^ ".tmp" in
-  write_file_atomic tmp (checkpoint_content engine ~seq);
+  Fault_file.write_file ~fsync:store.fsync tmp (checkpoint_content engine ~seq);
   Fault.hit "checkpoint.save.pre_rename";
-  Sys.rename tmp (ckpt_path store seq);
+  Fault_file.rename_durable ~fsync:store.fsync tmp (ckpt_path store seq);
   (* 3. Only the manifest switch makes the new checkpoint authoritative. *)
   Fault.hit "checkpoint.save.pre_manifest";
-  publish_manifest store ~ckpt:ckpt_name ~wal:wal_name;
-  (* 4. Retire the previous WAL channel and files. *)
+  publish_manifest store ~ckpt:(ckpt_name seq) ~wal:(wal_name seq);
+  (* 4. Retire the previous WAL channel and any versions past the
+     retention window. *)
   (match store.wal with Some ch -> close_out_noerr ch | None -> ());
   store.wal <- Some (open_out_gen [ Open_wronly; Open_append ] 0o644 (wal_path store seq));
-  gc_stale_files store ~keep_ckpt:ckpt_name ~keep_wal:wal_name
+  store.wal_file <- Some (wal_path store seq);
+  gc_stale_files store
 
 (* --- write-ahead log ------------------------------------------------------- *)
 
 let log_update store (update : Grounding.update) =
-  match store.wal with
-  | None -> invalid_arg "Checkpoint.log_update: no checkpoint published yet"
-  | Some ch ->
+  match (store.wal, store.wal_file) with
+  | None, _ | _, None -> invalid_arg "Checkpoint.log_update: no checkpoint published yet"
+  | Some ch, Some path ->
     let payload = Marshal.to_string update [] in
     let seq = store.seq + 1 in
-    output_string ch
+    Fault_file.append ~path ch
       (Printf.sprintf "entry %d %d %s\n" seq (String.length payload)
          (Crc32.to_hex (Crc32.string payload)));
     (* Crash between header and payload leaves a torn tail entry, which
        recovery discards. *)
     Fault.hit "checkpoint.log_update.mid_write";
-    output_string ch payload;
-    output_string ch "\n";
-    flush ch;
+    Fault_file.append ~path ch payload;
+    Fault_file.append ~path ch "\n";
+    Fault_file.flush_fsync ~fsync:store.fsync ~path ch;
     store.seq <- seq
 
 let apply_update store engine update =
   log_update store update;
   Engine.apply_update engine update
+
+(* --- structured reads ------------------------------------------------------- *)
+
+exception Bad of error
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Bad (Corrupt m))) fmt
+
+(* Cursor over a whole-file read.  Going through [Fault_file.read_file]
+   (rather than an [in_channel]) means the short-read fault applies
+   uniformly to every load path, and a torn file surfaces as [Eof] at the
+   exact byte it was cut. *)
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  exception Eof
+
+  let of_path path =
+    if not (Sys.file_exists path) then raise Eof;
+    { data = Fault_file.read_file path; pos = 0 }
+
+  let line r =
+    let n = String.length r.data in
+    if r.pos >= n then raise Eof
+    else
+      match String.index_from_opt r.data r.pos '\n' with
+      | Some i ->
+        let s = String.sub r.data r.pos (i - r.pos) in
+        r.pos <- i + 1;
+        s
+      | None ->
+        (* trailing bytes without a newline: the torn remainder *)
+        let s = String.sub r.data r.pos (n - r.pos) in
+        r.pos <- n;
+        s
+
+  let exact r len =
+    if len < 0 || r.pos + len > String.length r.data then raise Eof
+    else begin
+      let s = String.sub r.data r.pos len in
+      r.pos <- r.pos + len;
+      s
+    end
+end
 
 (* --- dead-letter persistence ------------------------------------------------ *)
 
@@ -163,6 +274,8 @@ let apply_update store engine update =
    payload reaches [Marshal]. *)
 
 let dead_letters_path store = Filename.concat store.dir "DEADLETTERS"
+
+let quarantine_dead_letters store = quarantine_path (dead_letters_path store)
 
 let error_tag : Txn.error -> string = function
   | `Malformed_delta _ -> "malformed"
@@ -197,67 +310,59 @@ let save_dead_letters store letters =
       Buffer.add_char buffer '\n')
     letters;
   Buffer.add_string buffer "end\n";
-  write_file_atomic (dead_letters_path store) (Buffer.contents buffer)
-
-(* --- load + recovery ------------------------------------------------------- *)
-
-exception Bad of error
-
-let corrupt fmt = Printf.ksprintf (fun m -> raise (Bad (Corrupt m))) fmt
+  Fault_file.write_atomic ~fsync:store.fsync (dead_letters_path store)
+    (Buffer.contents buffer)
 
 let load_dead_letters store =
   let path = dead_letters_path store in
   if not (Sys.file_exists path) then Ok []
   else
     match
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let line () = try input_line ic with End_of_file -> corrupt "truncated DEADLETTERS" in
-          (match line () with
-          | "dddead 1" -> ()
-          | other -> corrupt "bad DEADLETTERS header: %s" other);
-          let read_exact len what =
-            let bytes = Bytes.create len in
-            (try really_input ic bytes 0 len
-             with End_of_file -> corrupt "truncated DEADLETTERS %s" what);
-            (match input_line ic with
-            | "" -> ()
-            | _ -> corrupt "missing DEADLETTERS %s terminator" what
-            | exception End_of_file -> corrupt "missing DEADLETTERS %s terminator" what);
-            Bytes.unsafe_to_string bytes
-          in
-          let rec loop acc =
-            match line () with
-            | "end" -> List.rev acc
-            | header -> (
-              match String.split_on_char ' ' header with
-              | [ "letter"; seq; attempts; tag; msg_len; payload_len ] -> (
-                match
-                  ( int_of_string_opt seq,
-                    int_of_string_opt attempts,
-                    int_of_string_opt msg_len,
-                    int_of_string_opt payload_len )
-                with
-                | Some seq, Some attempts, Some msg_len, Some payload_len
-                  when seq > 0 && attempts >= 0 && msg_len >= 0 && payload_len >= 0 -> (
-                  let message = read_exact msg_len "error message" in
-                  let payload = read_exact payload_len "payload" in
-                  match error_of_tag tag message with
-                  | None -> corrupt "unknown DEADLETTERS error tag %s" tag
-                  | Some error ->
-                    (* The payload carries its own CRC ([Txn.encode_update]);
-                       gate on it now so a corrupt letter surfaces at load
-                       time, not at replay time. *)
-                    (match Txn.decode_update payload with
-                    | Ok _ -> ()
-                    | Error m -> corrupt "letter %d payload: %s" seq m);
-                    loop ({ Txn.seq; error; attempts; payload } :: acc))
-                | _ -> corrupt "bad DEADLETTERS letter header: %s" header)
-              | _ -> corrupt "bad DEADLETTERS letter header: %s" header)
-          in
-          loop [])
+      let r = Reader.of_path path in
+      let line () = try Reader.line r with Reader.Eof -> corrupt "truncated DEADLETTERS" in
+      (match line () with
+      | "dddead 1" -> ()
+      | other -> corrupt "bad DEADLETTERS header: %s" other);
+      let read_exact len what =
+        let s =
+          try Reader.exact r len
+          with Reader.Eof -> corrupt "truncated DEADLETTERS %s" what
+        in
+        (match line () with
+        | "" -> ()
+        | _ -> corrupt "missing DEADLETTERS %s terminator" what);
+        s
+      in
+      let rec loop acc =
+        match line () with
+        | "end" -> List.rev acc
+        | header -> (
+          match String.split_on_char ' ' header with
+          | [ "letter"; seq; attempts; tag; msg_len; payload_len ] -> (
+            match
+              ( int_of_string_opt seq,
+                int_of_string_opt attempts,
+                int_of_string_opt msg_len,
+                int_of_string_opt payload_len )
+            with
+            | Some seq, Some attempts, Some msg_len, Some payload_len
+              when seq > 0 && attempts >= 0 && msg_len >= 0 && payload_len >= 0 -> (
+              let message = read_exact msg_len "error message" in
+              let payload = read_exact payload_len "payload" in
+              match error_of_tag tag message with
+              | None -> corrupt "unknown DEADLETTERS error tag %s" tag
+              | Some error ->
+                (* The payload carries its own CRC ([Txn.encode_update]);
+                   gate on it now so a corrupt letter surfaces at load
+                   time, not at replay time. *)
+                (match Txn.decode_update payload with
+                | Ok _ -> ()
+                | Error m -> corrupt "letter %d payload: %s" seq m);
+                loop ({ Txn.seq; error; attempts; payload } :: acc))
+            | _ -> corrupt "bad DEADLETTERS letter header: %s" header)
+          | _ -> corrupt "bad DEADLETTERS letter header: %s" header)
+      in
+      loop []
     with
     | letters -> Ok letters
     | exception Bad error -> Error error
@@ -270,6 +375,8 @@ let load_dead_letters store =
    its canonicalizer here).  Length + CRC are recorded explicitly so a torn
    or tampered file fails structurally at load time. *)
 
+let blob_file name = "BLOB_" ^ name
+
 let blob_path store name =
   String.iter
     (fun c ->
@@ -280,10 +387,10 @@ let blob_path store name =
       if not ok then invalid_arg ("Checkpoint blob name: " ^ name))
     name;
   if name = "" then invalid_arg "Checkpoint blob name: empty";
-  Filename.concat store.dir ("BLOB_" ^ name)
+  Filename.concat store.dir (blob_file name)
 
 let save_blob store ~name content =
-  write_file_atomic (blob_path store name)
+  Fault_file.write_atomic ~fsync:store.fsync (blob_path store name)
     (Printf.sprintf "ddblob 1 %d %s\n%s\nend\n" (String.length content)
        (Crc32.to_hex (Crc32.string content))
        content)
@@ -293,57 +400,67 @@ let load_blob store ~name =
   if not (Sys.file_exists path) then Ok None
   else
     match
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let line () = try input_line ic with End_of_file -> corrupt "truncated blob %s" name in
-          let len, crc =
-            match String.split_on_char ' ' (line ()) with
-            | [ "ddblob"; "1"; len; hex ] -> (
-              match (int_of_string_opt len, Crc32.of_hex hex) with
-              | Some len, Some crc when len >= 0 -> (len, crc)
-              | _ -> corrupt "bad blob %s header fields" name)
-            | _ -> corrupt "bad blob %s header" name
-          in
-          let bytes = Bytes.create len in
-          (try really_input ic bytes 0 len
-           with End_of_file -> corrupt "truncated blob %s content" name);
-          (match line () with
-          | "" -> ()
-          | _ -> corrupt "missing blob %s terminator" name);
-          (match line () with "end" -> () | _ -> corrupt "bad blob %s footer" name);
-          let content = Bytes.unsafe_to_string bytes in
-          if Crc32.string content <> crc then corrupt "blob %s checksum mismatch" name;
-          content)
+      let r = Reader.of_path path in
+      let line () = try Reader.line r with Reader.Eof -> corrupt "truncated blob %s" name in
+      let len, crc =
+        match String.split_on_char ' ' (line ()) with
+        | [ "ddblob"; "1"; len; hex ] -> (
+          match (int_of_string_opt len, Crc32.of_hex hex) with
+          | Some len, Some crc when len >= 0 -> (len, crc)
+          | _ -> corrupt "bad blob %s header fields" name)
+        | _ -> corrupt "bad blob %s header" name
+      in
+      let content =
+        try Reader.exact r len with Reader.Eof -> corrupt "truncated blob %s content" name
+      in
+      (match line () with
+      | "" -> ()
+      | _ -> corrupt "missing blob %s terminator" name);
+      (match line () with "end" -> () | _ -> corrupt "bad blob %s footer" name);
+      if Crc32.string content <> crc then corrupt "blob %s checksum mismatch" name;
+      content
     with
     | content -> Ok (Some content)
     | exception Bad error -> Error error
     | exception Sys_error m -> Error (Corrupt m)
 
+let blob_names store =
+  Array.fold_left
+    (fun acc name ->
+      if
+        String.length name > 5
+        && String.sub name 0 5 = "BLOB_"
+        && not (Filename.check_suffix name ".quarantined")
+      then String.sub name 5 (String.length name - 5) :: acc
+      else acc)
+    []
+    (try Sys.readdir store.dir with Sys_error _ -> [||])
+  |> List.sort String.compare
+
+let quarantine_blob store ~name = quarantine_path (blob_path store name)
+
+(* --- load + recovery ------------------------------------------------------- *)
+
 let read_manifest store =
   let path = manifest_path store in
   if not (Sys.file_exists path) then raise (Bad No_checkpoint);
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let line () = try input_line ic with End_of_file -> corrupt "truncated MANIFEST" in
-      (match line () with
-      | "ddmanifest 1" -> ()
-      | other -> corrupt "bad MANIFEST header: %s" other);
-      let ckpt =
-        match String.split_on_char ' ' (line ()) with
-        | [ "checkpoint"; name ] -> name
-        | _ -> corrupt "bad MANIFEST checkpoint line"
-      in
-      let wal =
-        match String.split_on_char ' ' (line ()) with
-        | [ "wal"; name ] -> name
-        | _ -> corrupt "bad MANIFEST wal line"
-      in
-      (match line () with "end" -> () | _ -> corrupt "bad MANIFEST footer");
-      (ckpt, wal))
+  let r = try Reader.of_path path with Reader.Eof -> corrupt "unreadable MANIFEST" in
+  let line () = try Reader.line r with Reader.Eof -> corrupt "truncated MANIFEST" in
+  (match line () with
+  | "ddmanifest 1" -> ()
+  | other -> corrupt "bad MANIFEST header: %s" other);
+  let ckpt =
+    match String.split_on_char ' ' (line ()) with
+    | [ "checkpoint"; name ] -> name
+    | _ -> corrupt "bad MANIFEST checkpoint line"
+  in
+  let wal =
+    match String.split_on_char ' ' (line ()) with
+    | [ "wal"; name ] -> name
+    | _ -> corrupt "bad MANIFEST wal line"
+  in
+  (match line () with "end" -> () | _ -> corrupt "bad MANIFEST footer");
+  (ckpt, wal)
 
 let validate engine =
   let ( let* ) = Result.bind in
@@ -356,137 +473,174 @@ let validate engine =
 
 let load_checkpoint_file path =
   if not (Sys.file_exists path) then corrupt "missing checkpoint file %s" path;
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let line () = try input_line ic with End_of_file -> corrupt "truncated checkpoint" in
-      (match line () with
-      | "ddckpt 1" -> ()
-      | other -> corrupt "bad checkpoint header: %s" other);
-      let seq =
-        match String.split_on_char ' ' (line ()) with
-        | [ "seq"; n ] -> (
-          match int_of_string_opt n with
-          | Some n when n >= 0 -> n
-          | Some _ | None -> corrupt "bad checkpoint seq")
-        | _ -> corrupt "expected seq line"
-      in
-      (* The embedded ddgraph section runs through its own [end] line. *)
-      let graph_buffer = Buffer.create 65536 in
-      let rec slurp_graph () =
-        let l = line () in
-        Buffer.add_string graph_buffer l;
-        Buffer.add_char graph_buffer '\n';
-        if l <> "end" then slurp_graph ()
-      in
-      slurp_graph ();
-      let graph_text = Buffer.contents graph_buffer in
-      let graph =
-        match Serialize.of_string graph_text with
-        | g -> g
-        | exception Serialize.Format_error m -> corrupt "embedded graph: %s" m
-      in
-      let state_len, state_crc =
-        match String.split_on_char ' ' (line ()) with
-        | [ "state"; len; crc ] -> (
-          match (int_of_string_opt len, Crc32.of_hex crc) with
-          | Some len, Some crc when len >= 0 -> (len, crc)
-          | _ -> corrupt "bad state line")
-        | _ -> corrupt "expected state line"
-      in
-      let state = Bytes.create state_len in
-      (try really_input ic state 0 state_len
-       with End_of_file -> corrupt "truncated state section");
-      let state = Bytes.unsafe_to_string state in
-      (* Checksum gate before unmarshalling: [Marshal.from_string] on
-         corrupted bytes is undefined behaviour, so it must never see
-         them. *)
-      if Crc32.string state <> state_crc then corrupt "state checksum mismatch";
-      (match line () with
-      | "" -> ()
-      | _ -> corrupt "missing state terminator");
-      (match line () with "end" -> () | _ -> corrupt "missing checkpoint footer");
-      (match Graph.validate graph with
-      | Ok () -> ()
-      | Error m -> raise (Bad (Invalid_state ("embedded graph: " ^ m))));
-      let engine : Engine.t = Marshal.from_string state 0 in
-      (* Cross-check the binary snapshot against the auditable graph
-         section: both came from the same save, so re-serialization must
-         be byte-identical. *)
-      if Serialize.to_string (Engine.graph engine) <> graph_text then
-        raise (Bad (Invalid_state "embedded graph does not match engine state"));
-      (match validate engine with
-      | Ok () -> ()
-      | Error m -> raise (Bad (Invalid_state m)));
-      (seq, engine))
+  let r = try Reader.of_path path with Reader.Eof -> corrupt "unreadable checkpoint" in
+  let line () = try Reader.line r with Reader.Eof -> corrupt "truncated checkpoint" in
+  (match line () with
+  | "ddckpt 1" -> ()
+  | other -> corrupt "bad checkpoint header: %s" other);
+  let seq =
+    match String.split_on_char ' ' (line ()) with
+    | [ "seq"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> corrupt "bad checkpoint seq")
+    | _ -> corrupt "expected seq line"
+  in
+  (* The seq line sits outside both embedded checksums; cross-check it
+     against the version the file name claims to be. *)
+  (match version_of_name (Filename.basename path) with
+  | Some n when n <> seq -> corrupt "checkpoint seq %d does not match file %s" seq path
+  | _ -> ());
+  (* The embedded ddgraph section runs through its own [end] line. *)
+  let graph_buffer = Buffer.create 65536 in
+  let rec slurp_graph () =
+    let l = line () in
+    Buffer.add_string graph_buffer l;
+    Buffer.add_char graph_buffer '\n';
+    if l <> "end" then slurp_graph ()
+  in
+  slurp_graph ();
+  let graph_text = Buffer.contents graph_buffer in
+  let graph =
+    match Serialize.of_string graph_text with
+    | g -> g
+    | exception Serialize.Format_error m -> corrupt "embedded graph: %s" m
+  in
+  let state_len, state_crc =
+    match String.split_on_char ' ' (line ()) with
+    | [ "state"; len; crc ] -> (
+      match (int_of_string_opt len, Crc32.of_hex crc) with
+      | Some len, Some crc when len >= 0 -> (len, crc)
+      | _ -> corrupt "bad state line")
+    | _ -> corrupt "expected state line"
+  in
+  let state =
+    try Reader.exact r state_len with Reader.Eof -> corrupt "truncated state section"
+  in
+  (* Checksum gate before unmarshalling: [Marshal.from_string] on
+     corrupted bytes is undefined behaviour, so it must never see them. *)
+  if Crc32.string state <> state_crc then corrupt "state checksum mismatch";
+  (match line () with
+  | "" -> ()
+  | _ -> corrupt "missing state terminator");
+  (match line () with "end" -> () | _ -> corrupt "missing checkpoint footer");
+  (match Graph.validate graph with
+  | Ok () -> ()
+  | Error m -> raise (Bad (Invalid_state ("embedded graph: " ^ m))));
+  let engine : Engine.t = Marshal.from_string state 0 in
+  (* Cross-check the binary snapshot against the auditable graph
+     section: both came from the same save, so re-serialization must
+     be byte-identical. *)
+  if Serialize.to_string (Engine.graph engine) <> graph_text then
+    raise (Bad (Invalid_state "embedded graph does not match engine state"));
+  (match validate engine with
+  | Ok () -> ()
+  | Error m -> raise (Bad (Invalid_state m)));
+  (seq, engine)
 
-(* Entries after the checkpoint, in order; a torn or out-of-sequence tail
-   entry ends the log. *)
+let verify_version store seq =
+  match load_checkpoint_file (ckpt_path store seq) with
+  | _ -> Ok ()
+  | exception Bad error -> Error error
+  | exception Sys_error m -> Error (Corrupt m)
+
+(* Entries after the checkpoint, in order.  Tolerant by design: a missing
+   file, an unreadable header, a torn or out-of-sequence tail entry all
+   end the log at that point — the entries "never made it to disk" and the
+   driver redrives them. *)
 let read_wal path ~ckpt_seq =
-  if not (Sys.file_exists path) then corrupt "missing WAL file %s" path;
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      (match input_line ic with
-      | header ->
-        (match String.split_on_char ' ' header with
-        | [ "ddwal"; "1"; n ] when int_of_string_opt n = Some ckpt_seq -> ()
-        | _ -> corrupt "bad WAL header: %s" header)
-      | exception End_of_file -> corrupt "empty WAL file");
-      let entries = ref [] in
-      let expected = ref (ckpt_seq + 1) in
-      (* [None] = end of log (EOF, torn tail, or any malformed structure —
-         all treated as "the entry never made it to disk"). *)
-      let next_entry () =
-        match input_line ic with
-        | exception End_of_file -> None
-        | header -> (
-          match String.split_on_char ' ' header with
-          | [ "entry"; seq; len; crc ] -> (
-            match (int_of_string_opt seq, int_of_string_opt len, Crc32.of_hex crc) with
-            | Some seq, Some len, Some crc when seq = !expected && len >= 0 -> (
-              let payload = Bytes.create len in
-              match really_input ic payload 0 len with
-              | exception End_of_file -> None (* torn tail *)
-              | () -> (
-                let payload = Bytes.unsafe_to_string payload in
-                if Crc32.string payload <> crc then None (* torn/corrupt tail *)
-                else
-                  match input_line ic with
-                  | "" -> Some (Marshal.from_string payload 0 : Grounding.update)
-                  | _ -> None (* bad terminator: torn *)
-                  | exception End_of_file -> None (* missing terminator: torn *)))
-            | _ -> None (* malformed or out-of-sequence header: end of log *))
-          | _ -> None)
-      in
-      let rec loop () =
-        match next_entry () with
-        | None -> ()
-        | Some update ->
-          entries := update :: !entries;
-          incr expected;
-          loop ()
-      in
-      loop ();
-      List.rev !entries)
+  match Reader.of_path path with
+  | exception Reader.Eof -> []
+  | exception Sys_error _ -> []
+  | r -> (
+    match Reader.line r with
+    | exception Reader.Eof -> []
+    | header -> (
+      match String.split_on_char ' ' header with
+      | [ "ddwal"; "1"; n ] when int_of_string_opt n = Some ckpt_seq ->
+        let entries = ref [] in
+        let expected = ref (ckpt_seq + 1) in
+        (* [None] = end of log (EOF, torn tail, or any malformed
+           structure). *)
+        let next_entry () =
+          match Reader.line r with
+          | exception Reader.Eof -> None
+          | header -> (
+            match String.split_on_char ' ' header with
+            | [ "entry"; seq; len; crc ] -> (
+              match (int_of_string_opt seq, int_of_string_opt len, Crc32.of_hex crc) with
+              | Some seq, Some len, Some crc when seq = !expected && len >= 0 -> (
+                match Reader.exact r len with
+                | exception Reader.Eof -> None (* torn tail *)
+                | payload -> (
+                  if Crc32.string payload <> crc then None (* torn/corrupt tail *)
+                  else
+                    match Reader.line r with
+                    | "" -> Some (Marshal.from_string payload 0 : Grounding.update)
+                    | _ -> None (* bad terminator: torn *)
+                    | exception Reader.Eof -> None (* missing terminator: torn *)))
+              | _ -> None (* malformed or out-of-sequence header: end of log *))
+            | _ -> None)
+        in
+        let rec loop () =
+          match next_entry () with
+          | None -> ()
+          | Some update ->
+            entries := update :: !entries;
+            incr expected;
+            loop ()
+        in
+        loop ();
+        List.rev !entries
+      | _ -> [] (* unreadable header: nothing recoverable here *)))
 
 let recover store =
   abandon store;
   match
-    let ckpt, wal = read_manifest store in
-    let ckpt_seq, engine = load_checkpoint_file (Filename.concat store.dir ckpt) in
-    let updates = read_wal (Filename.concat store.dir wal) ~ckpt_seq in
-    (* Replay through the ordinary update path: deterministic because the
-       snapshot restored the engine's PRNG along with everything else. *)
-    List.iter (fun update -> ignore (Engine.apply_update engine update)) updates;
-    let applied = ckpt_seq + List.length updates in
-    store.seq <- applied;
+    let manifest_exists = Sys.file_exists (manifest_path store) in
+    let vs = versions store in
+    if vs = [] then
+      raise
+        (Bad
+           (if manifest_exists then
+              Corrupt "manifest present but no checkpoint versions on disk"
+            else No_checkpoint));
+    (* Newest version that passes every checksum and validation wins;
+       anything damaged on the way down is quarantined, not deleted. *)
+    let rec attempt quarantined = function
+      | [] ->
+        corrupt "no loadable checkpoint version (%d quarantined)" quarantined
+      | seqn :: rest -> (
+        match load_checkpoint_file (ckpt_path store seqn) with
+        | result -> result
+        | exception (Bad _ | Sys_error _) ->
+          quarantine_version store seqn;
+          attempt (quarantined + 1) rest)
+    in
+    let ckpt_seq, engine = attempt 0 vs in
+    (* Chain-replay WALs forward from the loaded version: wal-<m> carries
+       the updates between checkpoint m and the next publish, whose own
+       WAL continues the chain.  Replay through the ordinary update path:
+       deterministic because the snapshot restored the engine's PRNG
+       along with everything else. *)
+    let applied = ref ckpt_seq in
+    let progressing = ref true in
+    while !progressing do
+      let path = wal_path store !applied in
+      if Sys.file_exists path then begin
+        match read_wal path ~ckpt_seq:!applied with
+        | [] -> progressing := false
+        | updates ->
+          List.iter (fun update -> ignore (Engine.apply_update engine update)) updates;
+          applied := !applied + List.length updates
+      end
+      else progressing := false
+    done;
+    store.seq <- !applied;
     (* Re-publish so the replay work is durable and any torn WAL tail is
        retired. *)
     save store engine;
-    (engine, applied)
+    (engine, !applied)
   with
   | result -> Ok result
   | exception Bad error -> Error error

@@ -36,28 +36,65 @@ val error_to_string : error -> string
 type t
 (** A checkpoint store rooted at one directory. *)
 
-val open_store : string -> t
+val open_store : ?keep_versions:int -> ?fsync:bool -> string -> t
 (** Create (or reattach to) a store directory.  Does not read anything:
-    call {!recover} to load published state, or {!save} to publish. *)
+    call {!recover} to load published state, or {!save} to publish.
+    [keep_versions] (default 2, must be ≥ 1) is how many checkpoint/WAL
+    version pairs {!save} retains — older versions are what {!recover}
+    falls back to when the newest is damaged.  [fsync] (default [true])
+    controls whether publishes fsync data and directories; turn it off
+    only to measure what durability costs. *)
 
 val save : t -> Engine.t -> unit
 (** Publish a checkpoint of the engine's current state and rotate the
-    WAL.  Ordering guarantees that a crash at any instant leaves the
-    previously published checkpoint authoritative. *)
+    WAL.  Ordering (fresh WAL, then fsynced checkpoint rename, then
+    manifest switch — all via {!Dd_util.Fault_file}) guarantees that a
+    crash at any instant leaves the previously published checkpoint
+    authoritative. *)
 
 val log_update : t -> Grounding.update -> unit
-(** Append one update payload to the WAL and flush it.  Raises
+(** Append one update payload to the WAL, flush and fsync it.  Raises
     [Invalid_argument] if no checkpoint has been published yet. *)
 
 val apply_update : t -> Engine.t -> Grounding.update -> Engine.report
 (** [log_update] followed by {!Engine.apply_update}: the WAL entry is
     durable before any in-memory state changes. *)
 
+val applied : t -> int
+(** The store's current update sequence (updates absorbed by the state
+    the WAL is relative to, plus entries logged since). *)
+
+val set_applied : t -> int -> unit
+(** Advance the store's update sequence without logging WAL entries — for
+    drivers that make durability promises only at checkpoint granularity
+    (e.g. the ingestion soak pipeline checkpoints per batch and redrives
+    whole batches after a crash).  Raises [Invalid_argument] when moving
+    backwards. *)
+
 val recover : t -> (Engine.t * int, error) result
-(** Load the latest valid checkpoint, validate it, replay the WAL, and
-    return the rebuilt engine together with the total number of updates
-    it has absorbed (checkpoint seq + replayed entries).  Torn WAL tail
-    entries are discarded.  On success a fresh checkpoint is published. *)
+(** Load the newest checkpoint version that passes every checksum and
+    validation — quarantining damaged versions on the way down
+    ([.quarantined] suffix; never deleted) — then chain-replay the WALs
+    forward from it and return the rebuilt engine together with the total
+    number of updates it has absorbed.  Torn WAL tail entries are
+    discarded.  On success a fresh checkpoint is published.
+    [Error No_checkpoint] means the store holds no version at all;
+    [Error (Corrupt _)] that versions exist but none was loadable. *)
+
+val versions : t -> int list
+(** Checkpoint version sequences present on disk, newest first
+    (quarantined files excluded). *)
+
+val verify_version : t -> int -> (unit, error) result
+(** Fully re-verify one on-disk version (every checksum, graph/schema
+    validation) without touching the store's state. *)
+
+val quarantine_version : t -> int -> unit
+(** Rename a version's checkpoint and WAL files to [*.quarantined] so
+    they are preserved for forensics but never loaded or served. *)
+
+val quarantined_files : t -> string list
+(** Names of quarantined files in the store, sorted. *)
 
 val save_dead_letters : t -> Dd_core.Txn.dead_letter list -> unit
 (** Atomically publish the supervisor's quarantine queue (oldest first, as
@@ -83,6 +120,16 @@ val load_blob : t -> name:string -> (string option, error) result
 (** Read back a sidecar blob: [Ok None] when never saved, [Ok (Some s)]
     byte-exact on success, [Error (Corrupt _)] on any structural or
     checksum violation. *)
+
+val blob_names : t -> string list
+(** Names of sidecar blobs present in the store, sorted (quarantined
+    blobs excluded). *)
+
+val quarantine_blob : t -> name:string -> unit
+(** Set a damaged blob aside as [BLOB_<name>.quarantined]. *)
+
+val quarantine_dead_letters : t -> unit
+(** Set a damaged [DEADLETTERS] file aside as [DEADLETTERS.quarantined]. *)
 
 val validate : Engine.t -> (unit, string) result
 (** The load-time validation pass, exported for direct use:

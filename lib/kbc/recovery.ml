@@ -12,6 +12,7 @@ module Engine = Dd_core.Engine
 module Database = Dd_relational.Database
 module Tuple = Dd_relational.Tuple
 module Fault = Dd_util.Fault
+module Fault_file = Dd_util.Fault_file
 
 let clear_dir dir =
   if Sys.file_exists dir && Sys.is_directory dir then
@@ -73,6 +74,9 @@ type outcome = {
   point : string;
   trigger : int;  (* the armed Nth position *)
   crashed : bool;  (* false when the trigger lies beyond the run's hits *)
+  latent : bool;
+      (* the fault fired without killing the run (bit flip, dropped
+         fsync); the harness then forced a power cut to surface it *)
   recovered_from : string option;
       (* checkpoint the store recovered from; None = crash predated the
          first publish and the run was redone from scratch *)
@@ -85,32 +89,59 @@ let crash_recover_compare ?options ?semantics ?(checkpoint_every = 2) ~dir ~poin
   ensure_dir dir;
   clear_dir dir;
   Fault.reset ();
+  Fault_file.reset ();
+  Fault_file.seed (0xc4a5 lxor trigger);
   Fault.arm point (Fault.Nth trigger);
   let survived =
     match run ?options ?semantics ~checkpoint_every ~dir corpus with
     | engine -> Some engine
     | exception e when Fault.is_injected e -> None
   in
+  (* [disarm] clears the counters, so read them first. *)
+  let fired = Fault.fired point > 0 in
   Fault.disarm point;
+  let recover_and_finish ~power_cut =
+    if power_cut then Fault_file.crash_lose_volatile ();
+    let store = Checkpoint.open_store dir in
+    match Checkpoint.recover store with
+    | Ok (engine, applied) ->
+      let name = Checkpoint.latest store in
+      finish ?semantics ~checkpoint_every store engine ~from:applied;
+      (engine, name, applied)
+    | Error Checkpoint.No_checkpoint ->
+      (* Killed before anything was published: nothing to lose, the only
+         recovery is a clean deterministic rerun. *)
+      clear_dir dir;
+      (run ?options ?semantics ~checkpoint_every ~dir corpus, None, 0)
+    | Error (Checkpoint.Corrupt _) when Checkpoint.quarantined_files store <> [] ->
+      (* Every published version was damaged beyond loading; the damaged
+         files are quarantined and the last rung is a deterministic
+         scratch rebuild. *)
+      clear_dir dir;
+      (run ?options ?semantics ~checkpoint_every ~dir corpus, None, 0)
+    | Error err -> failwith ("recovery failed: " ^ Checkpoint.error_to_string err)
+  in
   let engine, recovered_from, replayed_to =
     match survived with
-    | Some engine -> (engine, None, List.length Pipeline.all_rule_ids)
-    | None -> (
-      let store = Checkpoint.open_store dir in
-      match Checkpoint.recover store with
-      | Ok (engine, applied) ->
-        let name = Checkpoint.latest store in
-        finish ?semantics ~checkpoint_every store engine ~from:applied;
-        (engine, name, applied)
-      | Error Checkpoint.No_checkpoint ->
-        (* Killed before anything was published: nothing to lose, the only
-           recovery is a clean deterministic rerun. *)
-        clear_dir dir;
-        (run ?options ?semantics ~checkpoint_every ~dir corpus, None, 0)
-      | Error err -> failwith ("recovery failed: " ^ Checkpoint.error_to_string err))
+    | Some engine when not fired -> (engine, None, List.length Pipeline.all_rule_ids)
+    | Some _ ->
+      (* The fault fired silently — the run finished, but the bytes on
+         disk may be lying.  Force a power cut and make recovery prove it
+         can still reach the reference state. *)
+      recover_and_finish ~power_cut:true
+    | None -> recover_and_finish ~power_cut:false
   in
+  Fault_file.reset ();
   let agreement = Quality.compare_marginals (Engine.marginals_by_relation engine) reference in
-  { point; trigger; crashed = survived = None; recovered_from; replayed_to; agreement }
+  {
+    point;
+    trigger;
+    crashed = survived = None;
+    latent = (survived <> None && fired);
+    recovered_from;
+    replayed_to;
+    agreement;
+  }
 
 let sweep ?options ?semantics ?(checkpoint_every = 2) ~dir corpus =
   ensure_dir dir;

@@ -42,6 +42,10 @@ type outcome = {
   point : string;
   trigger : int;  (** the armed Nth position *)
   crashed : bool;  (** false when the trigger lies beyond the run's hits *)
+  latent : bool;
+      (** the fault fired without killing the run (silent damage: bit
+          flip, dropped fsync); the harness then forced a power cut
+          ({!Dd_util.Fault_file.crash_lose_volatile}) and recovered *)
   recovered_from : string option;
       (** checkpoint the store recovered from; [None] means the crash
           predated the first publish and the run was redone from scratch *)
@@ -61,7 +65,11 @@ val crash_recover_compare :
   outcome
 (** Arm [point] to fail on its [trigger]-th hit, run, treat the escaping
     injection as a process death, recover, finish the update sequence,
-    and compare final marginals against [reference]. *)
+    and compare final marginals against [reference].  Faults that fire
+    without raising (bit flips, dropped fsyncs) get a forced power cut
+    instead, and the outcome carries [latent = true].  When every
+    published version proves unloadable, the damaged files are
+    quarantined and the run is redone deterministically from scratch. *)
 
 val sweep :
   ?options:Engine.options ->

@@ -1,0 +1,363 @@
+(* Crash-consistency soak harness: seeded random fault schedules over a
+   full update→checkpoint loop, with golden-model comparison and
+   automatic schedule shrinking.
+
+   One schedule arms a handful of (point, Nth trigger) faults drawn from
+   a seed, then drives a pipeline start to finish.  Every escaping
+   [Fault.Injected] is treated as a machine death: volatile (un-fsynced)
+   bytes are lost ([Fault_file.crash_lose_volatile]), all in-memory state
+   is abandoned, and the pipeline recovers from disk, scrubs, and
+   resumes from wherever the durable state proves it got to.  Silent
+   faults (bit flips, dropped fsyncs) don't crash anything — so every
+   schedule ends with a forced power cut + recover + scrub, which is
+   where latent damage must surface and heal.
+
+   The property checked per schedule: after the final recover+scrub, the
+   pipeline's fingerprint — marginals plus whatever subsystem state the
+   pipeline folds in (e.g. the ingestion canonicalizer) — is bit-identical
+   to a golden fingerprint computed by a fault-free run of the same
+   pipeline, and the scrub left nothing unrepaired.  A failing schedule
+   is shrunk greedily (drop arms, halve triggers) to a minimal
+   reproduction before being reported.
+
+   The pipeline itself is a record of closures, so the same runner soaks
+   the bare kbc loop (see [kbc_pipeline]) and the full
+   ingest→Txn→checkpoint→serve loop (built in bench/test code, where the
+   ingest and serve libraries are linkable). *)
+
+module Engine = Dd_core.Engine
+module Database = Dd_relational.Database
+module Fault = Dd_util.Fault
+module Fault_file = Dd_util.Fault_file
+module Prng = Dd_util.Prng
+
+type pipeline = {
+  steps : int;  (* number of updates the op sequence applies *)
+  reset : unit -> unit;
+      (* clean slate: wipe the store directory, rebuild in-memory state,
+         publish the initial checkpoint *)
+  apply : int -> unit;  (* apply update [i] durably (0-based) *)
+  save : unit -> unit;  (* publish a checkpoint of the current state *)
+  recover : unit -> int;
+      (* abandon in-memory state, rebuild from disk, return how many
+         updates the durable state proves applied; must fall back to a
+         deterministic from-scratch rebuild when nothing is loadable *)
+  scrub : unit -> Scrub.report;  (* integrity pass over disk + live state *)
+  fingerprint : unit -> string;
+      (* bit-exact digest of everything the golden comparison covers *)
+}
+
+type arm = { point : string; trigger : int }
+
+type schedule = { sid : int; arms : arm list }
+
+type outcome = {
+  schedule : schedule;
+  crashes : int;  (* injected process/machine deaths, incl. during recovery *)
+  recoveries : int;
+  repairs : int;  (* artifacts healed or contained across all scrubs *)
+  failure : string option;  (* [None] = converged bit-identically *)
+}
+
+type summary = {
+  schedules : int;
+  clean : int;  (* schedules where no armed fault fired *)
+  crashed : int;  (* schedules with at least one injected death *)
+  total_crashes : int;
+  total_repairs : int;
+  failures : outcome list;  (* shrunk to minimal reproductions *)
+}
+
+(* --- schedule generation -------------------------------------------------- *)
+
+let generate ~points ~seed sid =
+  let rng = Prng.create (seed + (0x9e3779b1 * sid)) in
+  let pts = Array.of_list points in
+  let n = 1 + Prng.int_below rng 3 in
+  let arms =
+    List.init n (fun _ ->
+        {
+          point = Prng.choice rng pts;
+          (* Early, mid, late and (occasionally) beyond-the-run
+             positions are all interesting, but the pipelines under soak
+             only hit each point a handful of times per run — keep most
+             triggers inside that window. *)
+          trigger = 1 + Prng.int_below rng 16;
+        })
+  in
+  { sid; arms }
+
+(* --- one schedule ---------------------------------------------------------- *)
+
+let run_schedule pipeline sched =
+  Fault.reset ();
+  Fault_file.reset ();
+  Fault_file.seed (0x5eed + sched.sid);
+  pipeline.reset ();
+  List.iter (fun a -> Fault.arm a.point (Fault.Nth a.trigger)) sched.arms;
+  let crashes = ref 0 and recoveries = ref 0 and repairs = ref 0 in
+  let step = ref 0 in
+  let scrub () =
+    let r = pipeline.scrub () in
+    repairs := !repairs + Scrub.damage_found r;
+    r
+  in
+  (* A machine died.  Recovery itself runs under the armed schedule and
+     may be killed again; each Nth arm fires at most once, so the retry
+     loop is bounded, with a suppressed last resort for safety. *)
+  let crash_recover () =
+    incr crashes;
+    let rec attempt k =
+      Fault_file.crash_lose_volatile ();
+      if k >= 5 then begin
+        Fault.reset ();
+        pipeline.recover ()
+      end
+      else
+        match pipeline.recover () with
+        | applied -> applied
+        | exception e when Fault.is_injected e ->
+          incr crashes;
+          attempt (k + 1)
+    in
+    let applied = attempt 0 in
+    incr recoveries;
+    ignore (scrub ());
+    applied
+  in
+  let failure = ref None in
+  (try
+     let rec drive () =
+       if !step < pipeline.steps then begin
+         (match pipeline.apply !step with
+         | () -> incr step
+         | exception e when Fault.is_injected e -> step := crash_recover ());
+         drive ()
+       end
+       else
+         match pipeline.save () with
+         | () -> ()
+         | exception e when Fault.is_injected e ->
+           step := crash_recover ();
+           drive ()
+     in
+     drive ();
+     (* Forced final power cut: whatever silent damage the schedule
+        planted — a flipped bit in a checkpoint, an fsync that never
+        happened — must be found, healed or quarantined NOW, and must not
+        change the state the pipeline converges to. *)
+     Fault.reset ();
+     Fault_file.crash_lose_volatile ();
+     step := pipeline.recover ();
+     incr recoveries;
+     let final_report = scrub () in
+     drive ();
+     if not (Scrub.healthy final_report) then
+       failure :=
+         Some (Format.asprintf "final scrub left damage: %a" Scrub.pp final_report)
+   with e ->
+     failure :=
+       Some
+         (Printf.sprintf "schedule raised %s at step %d" (Printexc.to_string e) !step));
+  (match !failure with
+  | Some _ -> ()
+  | None ->
+    (* One more scrub after the post-recovery redrive: nothing may be
+       left damaged, and the fingerprint must match the golden model. *)
+    let r = scrub () in
+    if not (Scrub.healthy r) then
+      failure := Some (Format.asprintf "post-redrive scrub: %a" Scrub.pp r));
+  Fault.reset ();
+  {
+    schedule = sched;
+    crashes = !crashes;
+    recoveries = !recoveries;
+    repairs = !repairs;
+    failure = !failure;
+  }
+
+let check_golden pipeline golden outcome =
+  match outcome.failure with
+  | Some _ -> outcome
+  | None ->
+    let fp = pipeline.fingerprint () in
+    if String.equal fp golden then outcome
+    else { outcome with failure = Some "fingerprint diverged from golden model" }
+
+(* --- shrinking ------------------------------------------------------------- *)
+
+(* Greedy minimization: try dropping each arm, then halving each trigger;
+   accept any candidate that still fails, repeat to a fixpoint (bounded). *)
+let shrink ~run sched =
+  let fails s = match (run s).failure with Some _ -> true | None -> false in
+  let candidates s =
+    let drops =
+      if List.length s.arms <= 1 then []
+      else
+        List.mapi
+          (fun i _ -> { s with arms = List.filteri (fun j _ -> j <> i) s.arms })
+          s.arms
+    in
+    let halves =
+      List.concat
+        (List.mapi
+           (fun i a ->
+             if a.trigger <= 1 then []
+             else
+               [
+                 {
+                   s with
+                   arms =
+                     List.mapi
+                       (fun j b -> if j = i then { b with trigger = b.trigger / 2 } else b)
+                       s.arms;
+                 };
+               ])
+           s.arms)
+    in
+    drops @ halves
+  in
+  let budget = ref 32 in
+  let rec go s =
+    if !budget <= 0 then s
+    else
+      match
+        List.find_opt
+          (fun c ->
+            decr budget;
+            !budget >= 0 && fails c)
+          (candidates s)
+      with
+      | Some smaller -> go smaller
+      | None -> s
+  in
+  go sched
+
+(* --- the soak loop ---------------------------------------------------------- *)
+
+let soak ?(seed = 1) ?(points = Fault_file.all_points) ?on_schedule ~schedules
+    pipeline =
+  (* Golden model: the same pipeline, no faults armed. *)
+  Fault.reset ();
+  Fault_file.reset ();
+  pipeline.reset ();
+  let golden_drive () =
+    for i = 0 to pipeline.steps - 1 do
+      pipeline.apply i
+    done;
+    pipeline.save ()
+  in
+  golden_drive ();
+  let golden = pipeline.fingerprint () in
+  let clean = ref 0 and crashed = ref 0 in
+  let total_crashes = ref 0 and total_repairs = ref 0 in
+  let failures = ref [] in
+  for sid = 1 to schedules do
+    let sched = generate ~points ~seed sid in
+    let outcome = check_golden pipeline golden (run_schedule pipeline sched) in
+    if outcome.crashes = 0 then incr clean else incr crashed;
+    total_crashes := !total_crashes + outcome.crashes;
+    total_repairs := !total_repairs + outcome.repairs;
+    (match outcome.failure with
+    | None -> ()
+    | Some _ ->
+      let minimal =
+        shrink ~run:(fun s -> check_golden pipeline golden (run_schedule pipeline s)) sched
+      in
+      let final = check_golden pipeline golden (run_schedule pipeline minimal) in
+      failures := (if final.failure = None then outcome else final) :: !failures);
+    match on_schedule with None -> () | Some f -> f outcome
+  done;
+  Fault.reset ();
+  Fault_file.reset ();
+  {
+    schedules;
+    clean = !clean;
+    crashed = !crashed;
+    total_crashes = !total_crashes;
+    total_repairs = !total_repairs;
+    failures = List.rev !failures;
+  }
+
+(* --- the bare kbc pipeline -------------------------------------------------- *)
+
+(* The six-rule-update Fig-KBC loop through a checkpoint store, with a
+   sidecar blob standing in for subsystem state (re-encoded on every save
+   and after every recovery, the way the ingestion feed persists its
+   canonicalizer).  Deterministic end to end: the corpus is static, the
+   update list fixed, and the engine snapshot carries its PRNG. *)
+
+let kbc_pipeline ?(options = Engine.default_options) ?semantics
+    ?(checkpoint_every = 2) ?(keep_versions = 2) ~dir corpus =
+  let updates = List.map (Pipeline.update_of ?semantics) Pipeline.all_rule_ids in
+  let steps = List.length updates in
+  let update i = List.nth updates i in
+  let store = ref None in
+  let engine = ref None in
+  let the_store () = Option.get !store in
+  let the_engine () = Option.get !engine in
+  let blob_of seq = Printf.sprintf "soak-state %d" seq in
+  let fresh_engine () =
+    let db = Database.create () in
+    Corpus.load corpus db;
+    Engine.create ~options db (Pipeline.base_program ?semantics ())
+  in
+  let publish () =
+    Checkpoint.save (the_store ()) (the_engine ());
+    Checkpoint.save_blob (the_store ()) ~name:"soakstate"
+      (blob_of (Checkpoint.applied (the_store ())))
+  in
+  let clear_dir () =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Array.iter
+        (fun name -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (Sys.readdir dir)
+    else if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  in
+  let scrub () =
+    Scrub.run ~engine:(the_engine ())
+      ~reblob:(fun _ -> Some (blob_of (Checkpoint.applied (the_store ()))))
+      (the_store ())
+  in
+  {
+    steps;
+    reset =
+      (fun () ->
+        clear_dir ();
+        store := Some (Checkpoint.open_store ~keep_versions dir);
+        engine := Some (fresh_engine ());
+        publish ());
+    apply =
+      (fun i ->
+        ignore (Checkpoint.apply_update (the_store ()) (the_engine ()) (update i));
+        if (i + 1) mod checkpoint_every = 0 then publish ());
+    save = publish;
+    recover =
+      (fun () ->
+        let st = Checkpoint.open_store ~keep_versions dir in
+        match Checkpoint.recover st with
+        | Ok (e, applied) ->
+          store := Some st;
+          engine := Some e;
+          Checkpoint.save_blob st ~name:"soakstate" (blob_of applied);
+          applied
+        | Error _ ->
+          (* Nothing loadable on disk (every version damaged): the last
+             rung is a deterministic from-scratch rebuild.  Quarantined
+             files stay behind as evidence. *)
+          engine := Some (fresh_engine ());
+          store := Some st;
+          publish ();
+          0);
+    scrub;
+    fingerprint =
+      (fun () ->
+        let marginals = Engine.marginals_by_relation (the_engine ()) in
+        let blob =
+          match Checkpoint.load_blob (the_store ()) ~name:"soakstate" with
+          | Ok (Some s) -> s
+          | Ok None -> "<none>"
+          | Error e -> "<error: " ^ Checkpoint.error_to_string e ^ ">"
+        in
+        Marshal.to_string (marginals, blob) []);
+  }

@@ -1,0 +1,102 @@
+(** Crash-consistency soak harness.
+
+    Seeded random fault schedules — each a handful of [(point, Nth
+    trigger)] arms drawn from the {!Dd_util.Fault} registry — are run
+    against a full update→checkpoint pipeline.  Every escaping injection
+    is treated as a machine death: volatile bytes are lost
+    ({!Dd_util.Fault_file.crash_lose_volatile}), in-memory state is
+    abandoned, and the pipeline recovers from disk, scrubs, and resumes.
+    Every schedule additionally ends with a forced power cut + recover +
+    scrub so that silent faults (bit flips, dropped fsyncs) are exercised
+    even when they never crash anything.
+
+    The checked property: after convergence the pipeline's fingerprint is
+    bit-identical to a golden fingerprint from a fault-free run, and the
+    final scrub leaves nothing unrepaired.  Failing schedules are shrunk
+    greedily to minimal reproductions.
+
+    The pipeline is a record of closures so the same runner drives both
+    the bare kbc loop ({!kbc_pipeline}) and the full
+    ingest→txn→checkpoint→serve loop (see [Dd_ingest.Soak_driver]). *)
+
+module Engine = Dd_core.Engine
+
+type pipeline = {
+  steps : int;  (** number of updates the op sequence applies *)
+  reset : unit -> unit;
+      (** clean slate: wipe the store directory, rebuild in-memory state,
+          publish the initial checkpoint *)
+  apply : int -> unit;  (** apply update [i] durably (0-based) *)
+  save : unit -> unit;  (** publish a checkpoint of the current state *)
+  recover : unit -> int;
+      (** abandon in-memory state, rebuild from disk, return how many
+          updates the durable state proves applied; must fall back to a
+          deterministic from-scratch rebuild when nothing is loadable *)
+  scrub : unit -> Scrub.report;  (** integrity pass over disk + live state *)
+  fingerprint : unit -> string;
+      (** bit-exact digest of everything the golden comparison covers *)
+}
+
+type arm = { point : string; trigger : int }
+
+type schedule = { sid : int; arms : arm list }
+
+type outcome = {
+  schedule : schedule;
+  crashes : int;
+      (** injected process/machine deaths, including during recovery *)
+  recoveries : int;
+  repairs : int;  (** artifacts healed or contained across all scrubs *)
+  failure : string option;  (** [None] = converged bit-identically *)
+}
+
+type summary = {
+  schedules : int;
+  clean : int;  (** schedules where no armed fault fired *)
+  crashed : int;  (** schedules with at least one injected death *)
+  total_crashes : int;
+  total_repairs : int;
+  failures : outcome list;  (** shrunk to minimal reproductions *)
+}
+
+val generate : points:string list -> seed:int -> int -> schedule
+(** The deterministic schedule for id [sid] under [seed]: 1–3 arms over
+    [points] with triggers in [1, 16]. *)
+
+val run_schedule : pipeline -> schedule -> outcome
+(** Run one schedule to convergence (does not compare against a golden
+    fingerprint — use {!soak} for the full property). *)
+
+val shrink : run:(schedule -> outcome) -> schedule -> schedule
+(** Greedy minimization of a failing schedule: repeatedly drop arms and
+    halve triggers while the schedule still fails under [run]. *)
+
+val soak :
+  ?seed:int ->
+  ?points:string list ->
+  ?on_schedule:(outcome -> unit) ->
+  schedules:int ->
+  pipeline ->
+  summary
+(** Run [schedules] seeded schedules against [pipeline], comparing each
+    converged state bit-for-bit against a golden fault-free run.
+    [points] defaults to {!Dd_util.Fault_file.all_points};
+    [on_schedule] observes each outcome (progress reporting).  Failures
+    are shrunk before being returned.  Resets the fault registry on
+    exit. *)
+
+val kbc_pipeline :
+  ?options:Engine.options ->
+  ?semantics:Dd_fgraph.Semantics.t ->
+  ?checkpoint_every:int ->
+  ?keep_versions:int ->
+  dir:string ->
+  Corpus.t ->
+  pipeline
+(** The bare kbc loop as a soakable pipeline: the six {!Pipeline} rule
+    updates applied through {!Checkpoint.apply_update} over a store at
+    [dir], checkpointing every [checkpoint_every] (default 2) updates,
+    with a [soakstate] sidecar blob standing in for subsystem state.
+    When every on-disk version is damaged beyond loading, recovery falls
+    back to a deterministic from-scratch rebuild (quarantined files are
+    left behind as evidence). *)

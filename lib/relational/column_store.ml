@@ -1143,6 +1143,70 @@ let of_bytes schema s =
     end
   end
 
+(* --- repair ------------------------------------------------------------- *)
+
+(* The store splits into a content plane (dictionary values, run columns +
+   multiplicities, tail entries) and derived planes that are pure functions
+   of it (dictionary maps, the Bloom run filter, cached indexes, the
+   override/cardinality/total accounting).  [repair] recomputes every
+   derived plane from the content and re-audits: damage confined to a
+   derived plane heals in place, while content damage still fails the
+   re-audit — the caller's cue to rebuild from a reference or reground. *)
+let repair t =
+  Array.iteri
+    (fun c d ->
+      let fresh =
+        { dvals = d.dvals; dlen = d.dlen; dids = VH.create 64; dints = Imap.create () }
+      in
+      for id = 0 to d.dlen - 1 do
+        match fresh.dvals.(id) with
+        | Value.Int k -> if Imap.find fresh.dints k < 0 then Imap.add fresh.dints k id
+        | v -> if VH.find_opt fresh.dids v = None then VH.replace fresh.dids v id
+      done;
+      t.dicts.(c) <- fresh)
+    t.dicts;
+  rebuild_filter t;
+  IH.reset t.indexes;
+  t.run_overrides <-
+    IH.fold (fun _ e acc -> if e.base > 0 then acc + 1 else acc) t.tail 0;
+  let card = ref 0 and total = ref 0 in
+  iter_ids t (fun _ n ->
+      incr card;
+      total := !total + n);
+  t.card <- !card;
+  t.total <- !total;
+  audit t
+
+let rebuild t iter =
+  Array.iteri
+    (fun c _ ->
+      t.dicts.(c) <- { dvals = [||]; dlen = 0; dids = VH.create 64; dints = Imap.create () })
+    t.dicts;
+  t.cols <- Array.make t.cs_arity [||];
+  t.counts <- [||];
+  t.rlen <- 0;
+  IH.reset t.tail;
+  t.run_overrides <- 0;
+  t.run_filter <- [||];
+  IH.reset t.indexes;
+  t.card <- 0;
+  t.total <- 0;
+  iter (fun tup count -> insert ~count t tup);
+  compact t
+
+(* Test-only damage hooks: simulate in-memory corruption of a derived
+   plane (repairable) or of run content (not repairable in place). *)
+
+let unsafe_corrupt_filter t =
+  if Array.length t.run_filter > 0 then Array.fill t.run_filter 0 (Array.length t.run_filter) 0
+  else t.run_filter <- [| 0 |]
+
+let unsafe_corrupt_accounting t = t.card <- t.card + 1
+
+let unsafe_corrupt_run t =
+  if t.rlen = 0 then invalid_arg "Column_store.unsafe_corrupt_run: empty run";
+  t.counts.(0) <- -t.counts.(0)
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>columnar{run=%d tail=%d card=%d total=%d}@]" t.rlen
     (IH.length t.tail) t.card t.total

@@ -139,4 +139,34 @@ val of_bytes : Schema.t -> string -> (t, string) result
     verifying the CRC, re-running {!audit}, and rebuilding lookup
     structures. *)
 
+(** {2 Repair} *)
+
+val repair : t -> (unit, string) result
+(** Recompute every derived plane — dictionary lookup maps, the Bloom run
+    filter, cached key indexes, override/cardinality/total accounting —
+    from the content plane (dictionary values, run columns, tail), then
+    re-{!audit}.  Damage confined to a derived plane heals in place
+    ([Ok ()]); content damage still fails the re-audit, which is the
+    caller's cue to {!rebuild} from a reference or reground from scratch. *)
+
+val rebuild : t -> ((Tuple.t -> int -> unit) -> unit) -> unit
+(** [rebuild t iter] discards the store's entire contents and reloads it
+    from [iter] (an iterator over counted reference tuples, e.g.
+    {!Relation.iter} applied to a row-backend mirror), then compacts.
+    The store object's identity is preserved — holders of [t] see the
+    rebuilt contents — but dictionary ids are reassigned. *)
+
+(** {2 Test-only damage hooks}
+
+    Simulated memory corruption for scrub/repair tests: [filter] and
+    [accounting] damage derived planes ({!repair} heals them), while
+    [run] damages content (audit fails until {!rebuild}). *)
+
+val unsafe_corrupt_filter : t -> unit
+
+val unsafe_corrupt_accounting : t -> unit
+
+val unsafe_corrupt_run : t -> unit
+(** Raises [Invalid_argument] when the run is empty. *)
+
 val pp : Format.formatter -> t -> unit

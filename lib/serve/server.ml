@@ -36,6 +36,11 @@ type health = {
   last_swap_ms : float;
   mean_swap_ms : float;
   max_swap_ms : float;
+  scrubs : int;
+  scrub_repaired : int;
+  scrub_quarantined : int;
+  scrub_unrepaired : int;
+  last_scrub_healthy : bool option;
   counters : counters;
 }
 
@@ -55,6 +60,11 @@ type t = {
   last_swap_ns : int Atomic.t;
   total_swap_ns : int Atomic.t;
   max_swap_ns : int Atomic.t;
+  s_passes : int Atomic.t;
+  s_repaired : int Atomic.t;
+  s_quarantined : int Atomic.t;
+  s_unrepaired : int Atomic.t;
+  s_last_healthy : int Atomic.t;  (* -1 = never scrubbed, 0 = unhealthy, 1 = healthy *)
   c_lookups : int Atomic.t;
   c_scans : int Atomic.t;
   c_top_ks : int Atomic.t;
@@ -110,6 +120,11 @@ let create ?(bins = 10) ?truth txn =
       last_swap_ns = Atomic.make 0;
       total_swap_ns = Atomic.make 0;
       max_swap_ns = Atomic.make 0;
+      s_passes = Atomic.make 0;
+      s_repaired = Atomic.make 0;
+      s_quarantined = Atomic.make 0;
+      s_unrepaired = Atomic.make 0;
+      s_last_healthy = Atomic.make (-1);
       c_lookups = Atomic.make 0;
       c_scans = Atomic.make 0;
       c_top_ks = Atomic.make 0;
@@ -195,6 +210,12 @@ let health t =
     last_swap_ms = ms (Atomic.get t.last_swap_ns);
     mean_swap_ms = (if swaps = 0 then 0.0 else ms (Atomic.get t.total_swap_ns) /. float_of_int swaps);
     max_swap_ms = ms (Atomic.get t.max_swap_ns);
+    scrubs = Atomic.get t.s_passes;
+    scrub_repaired = Atomic.get t.s_repaired;
+    scrub_quarantined = Atomic.get t.s_quarantined;
+    scrub_unrepaired = Atomic.get t.s_unrepaired;
+    last_scrub_healthy =
+      (match Atomic.get t.s_last_healthy with -1 -> None | 0 -> Some false | _ -> Some true);
     counters =
       {
         lookups = Atomic.get t.c_lookups;
@@ -204,3 +225,18 @@ let health t =
         generic = Atomic.get t.c_generic;
       };
   }
+
+(* The scrub loop runs on the writer's side (it may republish
+   checkpoints); the counters cross domains through the atomics. *)
+let record_scrub t (r : Dd_kbc.Scrub.report) =
+  let open Dd_kbc.Scrub in
+  Atomic.incr t.s_passes;
+  ignore
+    (Atomic.fetch_and_add t.s_repaired
+       (r.tables_repaired + r.tables_rebuilt + r.blobs_rewritten));
+  ignore
+    (Atomic.fetch_and_add t.s_quarantined
+       (r.versions_quarantined + r.blobs_quarantined
+       + if r.dead_letters_quarantined then 1 else 0));
+  ignore (Atomic.fetch_and_add t.s_unrepaired (List.length r.unrepaired));
+  Atomic.set t.s_last_healthy (if healthy r then 1 else 0)

@@ -70,8 +70,23 @@ type health = {
   last_swap_ms : float;  (** build+publish latency of the latest swap *)
   mean_swap_ms : float;
   max_swap_ms : float;
+  scrubs : int;  (** scrub passes recorded via {!record_scrub} *)
+  scrub_repaired : int;
+      (** artifacts healed across all passes (tables repaired or rebuilt,
+          blobs rewritten from live state) *)
+  scrub_quarantined : int;
+      (** artifacts set aside across all passes (checkpoint versions,
+          blobs, dead-letter files) *)
+  scrub_unrepaired : int;
+      (** tables reported as needing scratch regrounding, cumulative *)
+  last_scrub_healthy : bool option;
+      (** verdict of the most recent pass; [None] before the first *)
   counters : counters;
 }
 
 val health : t -> health
 (** Snapshot of the serving health surface; safe from any domain. *)
+
+val record_scrub : t -> Dd_kbc.Scrub.report -> unit
+(** Fold one {!Dd_kbc.Scrub.run} report into the health counters.  Call
+    from the writer side, right after the scrub pass. *)

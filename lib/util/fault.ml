@@ -68,7 +68,10 @@ let with_suppressed f =
   incr suppress_depth;
   Fun.protect ~finally:(fun () -> decr suppress_depth) f
 
-let hit name =
+(* Shared firing decision.  [check] is the non-raising form for faults
+   whose effect is damage rather than death (a flipped bit, a skipped
+   fsync): the caller applies the damage itself and the run continues. *)
+let check name =
   let p = find_or_register name in
   p.hits <- p.hits + 1;
   let inject =
@@ -79,8 +82,11 @@ let hit name =
   in
   if inject && !suppress_depth = 0 then begin
     p.fired <- p.fired + 1;
-    raise (Injected name)
+    true
   end
+  else false
+
+let hit name = if check name then raise (Injected name)
 
 let hits name = match Hashtbl.find_opt registry name with Some p -> p.hits | None -> 0
 

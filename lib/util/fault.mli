@@ -27,6 +27,12 @@ val declare : string -> unit
 val hit : string -> unit
 (** Mark a crash site; raises {!Injected} when the armed mode triggers. *)
 
+val check : string -> bool
+(** Like {!hit} but returns [true] instead of raising — for faults whose
+    effect is silent damage the caller applies itself (a flipped bit, a
+    skipped fsync) rather than a simulated process death.  Counts hits
+    and firings identically to {!hit} and respects {!with_suppressed}. *)
+
 val arm : string -> mode -> unit
 (** Set a point's mode and reset its counters. *)
 

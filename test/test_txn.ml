@@ -508,9 +508,11 @@ let qcheck_tests =
 
 (* --- fault-point coverage meta-test --------------------------------------------- *)
 
-(* Durability points owned by the checkpoint/recovery suites
-   (test_recovery, test_core); everything else registered in this binary
-   must have been exercised by a txn test above. *)
+(* Durability points owned by the checkpoint/recovery/soak suites
+   (test_recovery, test_core, test_soak); everything else registered in
+   this binary must have been exercised by a txn test above.  The io.*
+   points are the Fault_file layer — registered at module init, swept by
+   the recovery suite and the soak harness. *)
 let recovery_allowlist =
   [
     "checkpoint.save.pre_rename";
@@ -519,6 +521,7 @@ let recovery_allowlist =
     "serialize.save.pre_rename";
     "materialize.save.pre_rename";
   ]
+  @ Dd_util.Fault_file.all_points
 
 let test_fault_coverage () =
   let registered = Fault.registered () in
